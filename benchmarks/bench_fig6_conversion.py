@@ -1,0 +1,146 @@
+"""Figure 6 — conversion time: R-tree/regular indexing vs naive Cartesian.
+
+Paper: the optimized singular→collective conversion is up to 23× (events →
+time series), 45× (→ spatial map), and 105× (→ raster) faster than the
+default Cartesian-product plan, and up to 6× for trajectories; the gain
+grows with structure dimensionality and granularity.
+
+All six conversions are swept over structure granularity with both plans;
+the report prints time plus counted candidate tests (the mechanism).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import Stopwatch, fmt, fresh_ctx, print_table
+from repro.core.converters import (
+    Event2RasterConverter,
+    Event2SmConverter,
+    Event2TsConverter,
+    Traj2RasterConverter,
+    Traj2SmConverter,
+    Traj2TsConverter,
+)
+from repro.core.structures import (
+    RasterStructure,
+    SpatialMapStructure,
+    TimeSeriesStructure,
+)
+from repro.datasets import NYC_BBOX, PORTO_BBOX
+from repro.datasets.common import EPOCH_2013
+from repro.datasets.porto import PORTO_START
+
+N_CONVERT_EVENTS = 4_000
+N_CONVERT_TRAJS = 400
+
+#: Granularity sweep: slots for TS, x for x*x spatial maps, y for y*y*y rasters.
+TS_SLOTS = [24, 96, 384]
+SM_SIZES = [8, 16, 32]
+RASTER_SIZES = [4, 8, 12]
+
+
+def _structures(kind: str, size: int, bbox, t0: float):
+    extent = bbox.to_envelope()
+    from repro.temporal import Duration
+
+    window = Duration(t0, t0 + 30 * 86_400.0)
+    if kind == "ts":
+        return TimeSeriesStructure.regular(window, size)
+    if kind == "sm":
+        return SpatialMapStructure.regular(extent, size, size)
+    return RasterStructure.regular(extent, window, size, size, size)
+
+
+def _converter(kind: str, singular: str, structure, method: str):
+    table = {
+        ("event", "ts"): Event2TsConverter,
+        ("event", "sm"): Event2SmConverter,
+        ("event", "raster"): Event2RasterConverter,
+        ("traj", "ts"): Traj2TsConverter,
+        ("traj", "sm"): Traj2SmConverter,
+        ("traj", "raster"): Traj2RasterConverter,
+    }
+    return table[(singular, kind)](structure, method=method)
+
+
+def run_conversion(instances, singular, kind, size, bbox, t0, method):
+    ctx = fresh_ctx()
+    rdd = ctx.parallelize(instances, 8)
+    structure = _structures(kind, size, bbox, t0)
+    converter = _converter(kind, singular, structure, method)
+    converter.convert(rdd, agg=len).count()
+    return converter.stats.snapshot()
+
+
+@pytest.mark.parametrize("method", ["naive", "auto"])
+@pytest.mark.parametrize("kind,size", [("ts", 96), ("sm", 16), ("raster", 8)])
+def test_fig6_event_conversion(benchmark, bench_events, method, kind, size):
+    events = bench_events[:N_CONVERT_EVENTS]
+    benchmark.pedantic(
+        run_conversion,
+        args=(events, "event", kind, size, NYC_BBOX, EPOCH_2013, method),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("method", ["naive", "auto"])
+@pytest.mark.parametrize("kind,size", [("ts", 96), ("sm", 16), ("raster", 8)])
+def test_fig6_traj_conversion(benchmark, bench_trajectories, method, kind, size):
+    trajs = bench_trajectories[:N_CONVERT_TRAJS]
+    benchmark.pedantic(
+        run_conversion,
+        args=(trajs, "traj", kind, size, PORTO_BBOX, PORTO_START, method),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig6_report(benchmark, bench_events, bench_trajectories):
+    """The full Figure 6 sweep with speedups and counted work."""
+
+    def sweep():
+        rows = []
+        speedups = {}
+        cases = [
+            ("event", bench_events[:N_CONVERT_EVENTS], NYC_BBOX, EPOCH_2013),
+            ("traj", bench_trajectories[:N_CONVERT_TRAJS], PORTO_BBOX, PORTO_START),
+        ]
+        sizes_by_kind = {"ts": TS_SLOTS, "sm": SM_SIZES, "raster": RASTER_SIZES}
+        for singular, data, bbox, t0 in cases:
+            for kind, sizes in sizes_by_kind.items():
+                for size in sizes:
+                    watch = Stopwatch()
+                    stats_naive = run_conversion(data, singular, kind, size, bbox, t0, "naive")
+                    t_naive = watch.lap()
+                    stats_opt = run_conversion(data, singular, kind, size, bbox, t0, "auto")
+                    t_opt = watch.lap()
+                    speedup = t_naive / t_opt if t_opt else float("inf")
+                    speedups[(singular, kind, size)] = speedup
+                    rows.append(
+                        [
+                            f"{singular}2{kind}",
+                            size,
+                            fmt(t_naive),
+                            fmt(t_opt),
+                            f"{speedup:.1f}x",
+                            stats_naive["candidate_tests"],
+                            stats_opt["candidate_tests"],
+                        ]
+                    )
+        print_table(
+            "Figure 6: conversion optimization (naive Cartesian vs indexed)",
+            ["conversion", "granularity", "t_naive", "t_optimized", "speedup",
+             "tests_naive", "tests_optimized"],
+            rows,
+        )
+        return speedups
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Paper shapes: optimization wins, more at finer granularity, and more
+    # for point events than for trajectories.
+    for kind, sizes in (("ts", TS_SLOTS), ("sm", SM_SIZES), ("raster", RASTER_SIZES)):
+        assert speedups[("event", kind, sizes[-1])] > 1.0
+        assert speedups[("event", kind, sizes[-1])] >= speedups[("event", kind, sizes[0])] * 0.5
+    assert speedups[("event", "raster", RASTER_SIZES[-1])] > speedups[("traj", "raster", RASTER_SIZES[-1])] * 0.5

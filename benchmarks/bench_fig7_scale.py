@@ -1,0 +1,82 @@
+"""Figure 7 (scale axis) — the ST4ML-vs-baseline gap vs data size.
+
+The paper plots each application's processing time at several data scales
+and observes: "as the data size increases, all solutions take longer
+processing time but ST4ML grows much slower, indicating higher
+scalability."  This module reproduces the scale axis for two
+representative applications (one without conversion, one with).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import Stopwatch, fmt, fresh_ctx, print_table
+from repro.apps import anomaly, hourly_flow
+from repro.baselines import GeoMesaLike, GeoSparkLike
+from repro.datasets import NYC_BBOX, generate_nyc_events
+from repro.datasets.common import EPOCH_2013
+from repro.geometry import Envelope
+from repro.partitioners import TSTRPartitioner
+from repro.stio import save_dataset
+from repro.temporal import Duration
+
+SCALES = [5_000, 10_000, 20_000]
+QUERY_S = Envelope(-74.02, 40.62, -73.85, 40.82)
+QUERY_T = Duration(EPOCH_2013, EPOCH_2013 + 6 * 86_400.0)
+REPEATS = 3  # take the best of N to suppress single-machine noise
+
+
+def prepare(tmp_root, n: int):
+    events = generate_nyc_events(n, seed=300 + n, days=30)
+    ctx = fresh_ctx()
+    st_dir = tmp_root / f"st_{n}"
+    gm_dir = tmp_root / f"gm_{n}"
+    gs_dir = tmp_root / f"gs_{n}"
+    save_dataset(st_dir, events, "event", partitioner=TSTRPartitioner(5, 4), ctx=ctx)
+    GeoMesaLike.ingest(events, gm_dir, block_records=512)
+    GeoSparkLike.ingest(events, gs_dir)
+    return st_dir, gm_dir, gs_dir
+
+
+def test_fig7_scale_report(benchmark, tmp_path):
+    def sweep():
+        gaps = {}
+        rows = []
+        for app_name, module in (("anomaly", anomaly), ("hourly_flow", hourly_flow)):
+            for n in SCALES:
+                st_dir, gm_dir, gs_dir = prepare(tmp_path, n)
+
+                def best_of(run, directory) -> float:
+                    times = []
+                    for _ in range(REPEATS):
+                        watch = Stopwatch()
+                        run(fresh_ctx(), directory, QUERY_S, QUERY_T)
+                        times.append(watch.lap())
+                    return min(times)
+
+                t_st = best_of(module.run_st4ml, st_dir)
+                t_gm = best_of(module.run_geomesa, gm_dir)
+                t_gs = best_of(module.run_geospark, gs_dir)
+                gaps[(app_name, n)] = (t_gm / t_st, t_gs / t_st)
+                rows.append(
+                    [
+                        app_name, n, fmt(t_st), fmt(t_gm), fmt(t_gs),
+                        f"{t_gm / t_st:.1f}x", f"{t_gs / t_st:.1f}x",
+                    ]
+                )
+        print_table(
+            "Figure 7 (scale axis): processing time vs data size",
+            ["application", "records", "st4ml", "geomesa", "geospark",
+             "geomesa/st4ml", "geospark/st4ml"],
+            rows,
+        )
+        return gaps
+
+    gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # ST4ML must win at every scale.  The paper additionally observes the
+    # gap *widening* with scale; that effect comes from cluster memory
+    # pressure (executors spilling under GeoSpark's load-everything
+    # strategy), which a single-process engine cannot model — so here we
+    # assert the win, not the widening (see EXPERIMENTS.md).
+    for (app_name, n), (gm_ratio, gs_ratio) in gaps.items():
+        assert gm_ratio > 1.0, (app_name, n)
+        assert gs_ratio > 1.0, (app_name, n)

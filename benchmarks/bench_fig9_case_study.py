@@ -1,0 +1,92 @@
+"""Figure 9 — case study: daily traffic speed extraction, ST4ML vs GeoSpark.
+
+Paper: over a month of Hangzhou camera trajectories, ST4ML extracts daily
+city-wide (district × hour) speed profiles 3-7× faster than the
+GeoSpark-based flow; both grow with daily data size.
+
+We synthesize several "days" of camera trajectories with varying volume
+and compare per-day extraction time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import Stopwatch, fmt, fresh_ctx, print_table
+from repro.apps import case_speed
+from repro.baselines import GeoSparkLike
+from repro.datasets import generate_hangzhou_case
+from repro.geometry import Envelope
+from repro.partitioners import TSTRPartitioner
+from repro.stio import save_dataset
+from repro.temporal import Duration
+
+AREA = Envelope(120.10, 30.23, 120.25, 30.35)
+DAY = Duration(0.0, 86_400.0)
+#: Per-day vehicle volumes — the varying daily data sizes of Figure 9.
+DAY_VOLUMES = [300, 500, 800, 1200]
+
+
+@pytest.fixture(scope="module")
+def day_dirs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fig9")
+    ctx = fresh_ctx()
+    dirs = []
+    for day_index, volume in enumerate(DAY_VOLUMES):
+        case = generate_hangzhou_case(volume, seed=200 + day_index, grid_rows=10, grid_cols=10)
+        st_dir = root / f"day{day_index}_st4ml"
+        gs_dir = root / f"day{day_index}_gs"
+        save_dataset(
+            st_dir, case.trajectories, "trajectory",
+            partitioner=TSTRPartitioner(4, 4), ctx=ctx,
+        )
+        GeoSparkLike.ingest(case.trajectories, gs_dir)
+        dirs.append((volume, st_dir, gs_dir))
+    return dirs
+
+
+def run_st4ml_day(st_dir):
+    return case_speed.run_st4ml(fresh_ctx(), st_dir, AREA, DAY)
+
+
+def run_geospark_day(gs_dir):
+    return case_speed.run_geospark(fresh_ctx(), gs_dir, AREA, DAY)
+
+
+@pytest.mark.parametrize("day_index", [0, len(DAY_VOLUMES) - 1])
+def test_fig9_st4ml_day(benchmark, day_dirs, day_index):
+    _, st_dir, _ = day_dirs[day_index]
+    benchmark.pedantic(run_st4ml_day, args=(st_dir,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("day_index", [0, len(DAY_VOLUMES) - 1])
+def test_fig9_geospark_day(benchmark, day_dirs, day_index):
+    _, _, gs_dir = day_dirs[day_index]
+    benchmark.pedantic(run_geospark_day, args=(gs_dir,), rounds=1, iterations=1)
+
+
+def test_fig9_report(benchmark, day_dirs):
+    def month_sweep():
+        rows = []
+        ratios = []
+        for day_index, (volume, st_dir, gs_dir) in enumerate(day_dirs):
+            watch = Stopwatch()
+            st_result = run_st4ml_day(st_dir)
+            t_st = watch.lap()
+            run_geospark_day(gs_dir)
+            t_gs = watch.lap()
+            vehicles = sum(v[0] for v in st_result)
+            ratios.append(t_gs / t_st)
+            rows.append(
+                [day_index, volume, vehicles, fmt(t_st), fmt(t_gs), f"{t_gs / t_st:.1f}x"]
+            )
+        print_table(
+            "Figure 9: daily raster speed extraction (st4ml vs geospark)",
+            ["day", "trajectories", "cell_vehicles", "t_st4ml", "t_geospark", "speedup"],
+            rows,
+        )
+        return ratios
+
+    ratios = benchmark.pedantic(month_sweep, rounds=1, iterations=1)
+    # Paper shape: ST4ML faster every day.
+    assert all(r > 1.0 for r in ratios), ratios

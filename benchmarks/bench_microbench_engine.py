@@ -1,0 +1,131 @@
+"""Supplementary microbenchmarks of the substrates.
+
+Not a paper table — these time the primitives everything else is built
+on, so substrate regressions are visible independently of the end-to-end
+numbers: R-tree build/query vs brute force, the regular-grid shortcut,
+engine map/shuffle throughput, and per-partition selection indexing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import fresh_ctx
+from repro.core import Selector
+from repro.datasets import NYC_BBOX
+from repro.datasets.common import EPOCH_2013
+from repro.geometry import Envelope
+from repro.index import GridIndex, RTree, STBox
+from repro.temporal import Duration
+
+N_BOXES = 5_000
+N_QUERIES = 200
+
+
+@pytest.fixture(scope="module")
+def boxes():
+    rng = random.Random(7)
+    out = []
+    for i in range(N_BOXES):
+        min_x = rng.uniform(0, 95)
+        min_y = rng.uniform(0, 95)
+        out.append(
+            (
+                STBox(
+                    (min_x, min_y),
+                    (min_x + rng.uniform(0.5, 5), min_y + rng.uniform(0.5, 5)),
+                ),
+                i,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = random.Random(8)
+    out = []
+    for _ in range(N_QUERIES):
+        x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+        out.append(STBox((x, y), (x + 10, y + 10)))
+    return out
+
+
+def test_micro_rtree_build(benchmark, boxes):
+    benchmark(lambda: RTree.build(boxes, capacity=16))
+
+
+def test_micro_rtree_query(benchmark, boxes, queries):
+    tree = RTree.build(boxes, capacity=16)
+
+    def run():
+        return sum(len(tree.query(q)) for q in queries)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_bruteforce_query(benchmark, boxes, queries):
+    def run():
+        return sum(
+            sum(1 for box, _ in boxes if box.intersects(q)) for q in queries
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_grid_candidates(benchmark, queries):
+    grid = GridIndex(STBox((0, 0), (100, 100)), (32, 32))
+
+    def run():
+        return sum(len(grid.candidate_cells(q)) for q in queries)
+
+    assert benchmark(run) > 0
+
+
+def test_micro_engine_map_filter(benchmark):
+    ctx = fresh_ctx()
+    rdd = ctx.parallelize(range(100_000), 8).persist()
+    rdd.count()
+    benchmark(lambda: rdd.map(lambda x: x * 2).filter(lambda x: x % 3 == 0).count())
+
+
+def test_micro_engine_reduce_by_key(benchmark):
+    ctx = fresh_ctx()
+    rdd = ctx.parallelize([(i % 100, 1) for i in range(100_000)], 8).persist()
+    rdd.count()
+    benchmark(lambda: rdd.reduce_by_key(lambda a, b: a + b).count())
+
+
+def test_micro_selection_indexing(benchmark, bench_events):
+    """Per-partition R-tree selection over in-memory events."""
+    ctx = fresh_ctx()
+    rdd = ctx.parallelize(bench_events, 8).persist()
+    rdd.count()
+    spatial = Envelope(-74.0, 40.7, -73.95, 40.75)
+    temporal = Duration(EPOCH_2013, EPOCH_2013 + 5 * 86_400.0)
+    selector = Selector(spatial, temporal)
+    benchmark(lambda: selector.select(ctx, rdd).count())
+
+
+def test_micro_report(benchmark, boxes, queries):
+    """Pruning factor summary: counted intersection tests per query."""
+
+    def measure():
+        tree = RTree.build(boxes, capacity=16)
+        tree.stats.reset()
+        for q in queries:
+            tree.query(q)
+        indexed_tests = tree.stats.entry_tests + tree.stats.node_tests
+        brute_tests = len(boxes) * len(queries)
+        return indexed_tests, brute_tests
+
+    indexed, brute = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nR-tree pruning: {indexed:,} tests vs brute-force {brute:,} "
+        f"({brute / indexed:.1f}x fewer)"
+    )
+    assert indexed < brute

@@ -1,0 +1,111 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Benchmarks are scaled-down but *shape-preserving* reproductions of the
+paper's evaluation: dataset sizes fit a laptop, yet every comparison keeps
+the original structure (same systems, same workloads, same sweeps), and
+each module prints the rows/series its paper table or figure reports —
+wall-clock next to counted work.
+
+Run: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+# Allow `from tests.conftest import ...` helpers when invoked on benchmarks/.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.baselines import GeoMesaLike, GeoSparkLike  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    generate_nyc_events,
+    generate_porto_trajectories,
+)
+from repro.engine import EngineContext  # noqa: E402
+from repro.partitioners import TSTRPartitioner  # noqa: E402
+from repro.stio import save_dataset  # noqa: E402
+
+#: Record budgets — bump these for heavier runs.
+N_EVENTS = 20_000
+N_TRAJECTORIES = 1_500
+
+
+def fresh_ctx() -> EngineContext:
+    return EngineContext(default_parallelism=8)
+
+
+@pytest.fixture(scope="session")
+def bench_events():
+    return generate_nyc_events(N_EVENTS, seed=101, days=30)
+
+
+@pytest.fixture(scope="session")
+def bench_trajectories():
+    return generate_porto_trajectories(N_TRAJECTORIES, seed=102, days=30)
+
+
+@pytest.fixture(scope="session")
+def bench_dirs(tmp_path_factory, bench_events, bench_trajectories):
+    """All three systems' on-disk layouts for both datasets."""
+    root = tmp_path_factory.mktemp("bench-data")
+    ctx = fresh_ctx()
+    save_dataset(
+        root / "events_st4ml", bench_events, "event",
+        partitioner=TSTRPartitioner(6, 5), ctx=ctx,
+    )
+    save_dataset(
+        root / "trajs_st4ml", bench_trajectories, "trajectory",
+        partitioner=TSTRPartitioner(6, 5), ctx=ctx,
+    )
+    GeoSparkLike.ingest(bench_events, root / "events_gs")
+    GeoSparkLike.ingest(bench_trajectories, root / "trajs_gs")
+    GeoMesaLike.ingest(bench_events, root / "events_gm", block_records=512)
+    GeoMesaLike.ingest(bench_trajectories, root / "trajs_gm", block_records=128)
+    return root
+
+
+class Stopwatch:
+    """Tiny timing helper for sweep tables printed by report benchmarks."""
+
+    def __init__(self) -> None:
+        self.start = time.perf_counter()
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        elapsed = now - self.start
+        self.start = now
+        return elapsed
+
+
+#: Report tables are appended here as well as printed, so the paper-shaped
+#: results survive pytest's output capture (visible live with ``-s``).
+REPORT_FILE = Path(__file__).resolve().parent / "results" / "report_tables.txt"
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Aligned plain-text table: printed (survives ``-s``) and appended to
+    ``benchmarks/results/report_tables.txt`` (survives capture)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print(text)
+    sys.stdout.flush()
+    REPORT_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with open(REPORT_FILE, "a") as f:
+        f.write(text + "\n")
+
+
+def fmt(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds:.2f}s"

@@ -1,0 +1,57 @@
+"""Case study 2 (Section 6): road-network flow from camera trajectories.
+
+Sparse camera-derived trajectories are map-matched onto the road network
+with the HMM trajectory→trajectory conversion, routes are completed over
+uninstrumented segments, and hourly per-segment flows are extracted — the
+application the paper notes cannot be built by simply extending GeoSpark
+or GeoMesa.
+
+Run:  python examples/road_flow_mapmatching.py
+"""
+
+import tempfile
+from collections import defaultdict
+from pathlib import Path
+
+from repro import Duration, EngineContext, Envelope, save_dataset
+from repro.apps import case_road_flow
+from repro.datasets import generate_hangzhou_case
+
+
+def main() -> None:
+    workspace = Path(tempfile.mkdtemp(prefix="st4ml-roadflow-"))
+    ctx = EngineContext(default_parallelism=8)
+
+    case = generate_hangzhou_case(
+        n_vehicles=400, seed=5, grid_rows=10, grid_cols=10, camera_fraction=0.5
+    )
+    save_dataset(workspace / "hz", case.trajectories, instance_type="trajectory", ctx=ctx)
+    pts = [len(t.entries) for t in case.trajectories]
+    print(
+        f"{len(case.trajectories)} camera trajectories, "
+        f"avg {sum(pts)/len(pts):.1f} points each, "
+        f"{case.network.n_segments} road segments, "
+        f"{len(case.camera_nodes)} instrumented junctions"
+    )
+
+    area = Envelope(120.10, 30.23, 120.25, 30.35)
+    day = Duration(0.0, 86_400.0)
+    flows = case_road_flow.run_st4ml(
+        ctx, workspace / "hz", case.network, area, day
+    )
+    summary = case_road_flow.flow_summary(flows)
+    print(
+        f"\nflow inferred on {summary['segments_covered']} segments "
+        f"(total flow {summary['total_flow']}, peak hour {summary['peak_hour']})"
+    )
+
+    per_hour: dict[int, int] = defaultdict(int)
+    for (_, hour), count in flows.items():
+        per_hour[hour] += count
+    print("\nhour  network flow")
+    for hour in sorted(per_hour):
+        print(f"{hour:4d}  {'#' * (per_hour[hour] // 20)} {per_hour[hour]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro — a Python reproduction of ST4ML (SIGMOD 2023).
+
+ST4ML is a machine-learning-oriented distributed spatio-temporal data
+processing system built on Apache Spark.  This package reproduces the full
+system — the Selection-Conversion-Extraction pipeline, the five ST
+instances, the ST-aware partitioners (including the novel T-STR), the
+on-disk metadata index, the conversion optimizations, HMM map matching —
+plus every substrate it needs (a Spark-like dataflow engine, geometry,
+indexes, storage) and the GeoSpark/GeoMesa-style baselines the paper
+compares against.
+
+Quickstart::
+
+    from repro import EngineContext, Selector, TSTRPartitioner
+    from repro.core.converters import Traj2RasterConverter
+    from repro.core.extractors import RasterSpeedExtractor
+
+    ctx = EngineContext(default_parallelism=8)
+    selector = Selector(city_area, month, partitioner=TSTRPartitioner(4, 8))
+    traj_rdd = selector.select(ctx, data_dir)
+    raster_rdd = Traj2RasterConverter(raster_structure).convert(traj_rdd)
+    speeds = RasterSpeedExtractor(unit="kmh").extract(raster_rdd)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.engine import EngineContext, RDD
+from repro.geometry import Envelope, LineString, Point, Polygon
+from repro.temporal import Duration
+from repro.instances import (
+    Entry,
+    Event,
+    Instance,
+    Raster,
+    SpatialMap,
+    TimeSeries,
+    Trajectory,
+    TrajectoryPoint,
+)
+from repro.core import (
+    InstanceRDD,
+    Pipeline,
+    RasterStructure,
+    Selector,
+    SpatialMapStructure,
+    TimeSeriesStructure,
+)
+from repro.partitioners import (
+    HashPartitioner,
+    KDBPartitioner,
+    QuadTreePartitioner,
+    STRPartitioner,
+    TBalancePartitioner,
+    TSTRPartitioner,
+)
+from repro.stio import StDataset, load_dataset, save_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineContext",
+    "RDD",
+    "Envelope",
+    "Point",
+    "LineString",
+    "Polygon",
+    "Duration",
+    "Entry",
+    "Instance",
+    "Event",
+    "Trajectory",
+    "TrajectoryPoint",
+    "TimeSeries",
+    "SpatialMap",
+    "Raster",
+    "Selector",
+    "InstanceRDD",
+    "Pipeline",
+    "TimeSeriesStructure",
+    "SpatialMapStructure",
+    "RasterStructure",
+    "HashPartitioner",
+    "STRPartitioner",
+    "TSTRPartitioner",
+    "QuadTreePartitioner",
+    "TBalancePartitioner",
+    "KDBPartitioner",
+    "StDataset",
+    "save_dataset",
+    "load_dataset",
+    "__version__",
+]

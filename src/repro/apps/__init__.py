@@ -1,0 +1,52 @@
+"""The end-to-end applications of the paper's evaluation (Table 7).
+
+Each module implements one feature-extraction application three ways —
+``run_st4ml``, ``run_geomesa``, ``run_geospark`` — with identical
+*outputs* (the integration tests assert equality) but the authentic cost
+profile of each system:
+
+========  ==========================================================
+app       feature (dataset)
+========  ==========================================================
+anomaly       events occurring 23:00-04:00 daily (NYC)
+avg_speed     average speed of each trajectory (Porto)
+stay_point    stay points with (200 m, 10 min) thresholds (Porto)
+hourly_flow   event count per 1-hour time-series slot (NYC)
+grid_speed    mean speed per spatial-map grid cell (Porto)
+transition    in/out flow per raster cell (Porto)
+air_road      daily mean air quality over road segments (Air)
+poi_count     POI count per postal-code area (OSM)
+========  ==========================================================
+
+plus the two Section 6 case studies:
+
+* ``case_speed`` — daily district×hour raster speed profiles (Figure 9);
+* ``case_road_flow`` — map matching + road-segment flow (Table 9).
+"""
+
+from repro.apps import (  # noqa: F401  (re-exported app modules)
+    air_road,
+    anomaly,
+    avg_speed,
+    case_road_flow,
+    case_speed,
+    grid_speed,
+    hourly_flow,
+    poi_count,
+    stay_point,
+    transition,
+)
+
+#: The Figure 7 suite in paper order.
+FIGURE7_APPS = {
+    "anomaly": anomaly,
+    "avg_speed": avg_speed,
+    "stay_point": stay_point,
+    "hourly_flow": hourly_flow,
+    "grid_speed": grid_speed,
+    "transition": transition,
+    "air_road": air_road,
+    "poi_count": poi_count,
+}
+
+__all__ = ["FIGURE7_APPS"] + list(FIGURE7_APPS) + ["case_speed", "case_road_flow"]

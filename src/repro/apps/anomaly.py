@@ -1,0 +1,43 @@
+"""Application: abnormal events — events occurring 23:00-04:00 daily (NYC)."""
+
+from __future__ import annotations
+
+from repro.apps.common import baseline_select, canonical_id
+from repro.core.extractors.event import EventAnomalyExtractor
+from repro.core.selector import Selector
+from repro.engine.context import EngineContext
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+START_HOUR = 23.0
+END_HOUR = 4.0
+
+
+def run_st4ml(
+    ctx: EngineContext,
+    data_dir,
+    spatial: Envelope,
+    temporal: Duration,
+    partitioner=None,
+) -> list[str]:
+    """Select → extract (no conversion needed; Table 7 row 1)."""
+    selector = Selector(spatial, temporal, partitioner=partitioner)
+    selected = selector.select(ctx, data_dir)
+    anomalies = EventAnomalyExtractor(START_HOUR, END_HOUR).extract(selected)
+    return sorted(canonical_id(ev) for ev in anomalies.collect())
+
+
+def _run_baseline(system: str, ctx, data_dir, spatial, temporal) -> list[str]:
+    selected = baseline_select(system, ctx, data_dir, spatial, temporal)
+    matcher = EventAnomalyExtractor(START_HOUR, END_HOUR)
+    return sorted(canonical_id(ev) for ev in selected.filter(matcher.matches).collect())
+
+
+def run_geomesa(ctx, data_dir, spatial, temporal) -> list[str]:
+    """Run this application with the GeoMesa-like baseline."""
+    return _run_baseline("geomesa", ctx, data_dir, spatial, temporal)
+
+
+def run_geospark(ctx, data_dir, spatial, temporal) -> list[str]:
+    """Run this application with the GeoSpark-like baseline."""
+    return _run_baseline("geospark", ctx, data_dir, spatial, temporal)

@@ -1,0 +1,43 @@
+"""Application: average speed of each trajectory (Porto)."""
+
+from __future__ import annotations
+
+from repro.apps.common import baseline_select, canonical_id, canonical_key
+from repro.core.extractors.trajectory import TrajSpeedExtractor
+from repro.core.selector import Selector
+from repro.engine.context import EngineContext
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+
+def run_st4ml(
+    ctx: EngineContext,
+    data_dir,
+    spatial: Envelope,
+    temporal: Duration,
+    partitioner=None,
+    unit: str = "kmh",
+) -> dict[str, float]:
+    """Run this application with the ST4ML pipeline."""
+    selector = Selector(spatial, temporal, partitioner=partitioner)
+    selected = selector.select(ctx, data_dir)
+    speeds = TrajSpeedExtractor(unit).extract(selected)
+    return {canonical_key(k): v for k, v in speeds.collect()}
+
+
+def _run_baseline(system: str, ctx, data_dir, spatial, temporal, unit="kmh") -> dict:
+    selected = baseline_select(system, ctx, data_dir, spatial, temporal)
+    extractor = TrajSpeedExtractor(unit)
+    return {
+        canonical_id(traj): extractor.speed_of(traj) for traj in selected.collect()
+    }
+
+
+def run_geomesa(ctx, data_dir, spatial, temporal) -> dict:
+    """Run this application with the GeoMesa-like baseline."""
+    return _run_baseline("geomesa", ctx, data_dir, spatial, temporal)
+
+
+def run_geospark(ctx, data_dir, spatial, temporal) -> dict:
+    """Run this application with the GeoSpark-like baseline."""
+    return _run_baseline("geospark", ctx, data_dir, spatial, temporal)

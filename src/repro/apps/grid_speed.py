@@ -1,0 +1,61 @@
+"""Application: mean trajectory speed per spatial-map grid cell (Porto)."""
+
+from __future__ import annotations
+
+from repro.apps.common import baseline_select, naive_cell_scan
+from repro.core.converters.singular_to_collective import Traj2SmConverter
+from repro.core.extractors.spatialmap import SmSpeedExtractor
+from repro.core.extractors.trajectory import TrajSpeedExtractor
+from repro.core.selector import Selector
+from repro.core.structures import SpatialMapStructure
+from repro.engine.context import EngineContext
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+GRID_SIZE = 16  # cells per side of the spatial map
+
+
+def _structure(spatial: Envelope) -> SpatialMapStructure:
+    return SpatialMapStructure.regular(spatial, GRID_SIZE, GRID_SIZE)
+
+
+def run_st4ml(
+    ctx: EngineContext,
+    data_dir,
+    spatial: Envelope,
+    temporal: Duration,
+    partitioner=None,
+    unit: str = "kmh",
+) -> list[float | None]:
+    """Run this application with the ST4ML pipeline."""
+    selector = Selector(spatial, temporal, partitioner=partitioner)
+    selected = selector.select(ctx, data_dir)
+    converted = Traj2SmConverter(_structure(spatial)).convert(selected)
+    return SmSpeedExtractor(unit).extract(converted).cell_values()
+
+
+def _run_baseline(system, ctx, data_dir, spatial, temporal, unit="kmh"):
+    selected = baseline_select(system, ctx, data_dir, spatial, temporal)
+    structure = _structure(spatial)
+    cells = [(geom, None) for geom in structure.geometries]
+    speed_of = TrajSpeedExtractor(unit).speed_of
+
+    grouped = (
+        selected.flat_map(
+            lambda traj: [(c, speed_of(traj)) for c in naive_cell_scan(cells, traj)]
+        )
+        .group_by_key()
+        .map(lambda kv: (kv[0], sum(kv[1]) / len(kv[1])))
+        .collect_as_map()
+    )
+    return [grouped.get(i) for i in range(structure.n_cells)]
+
+
+def run_geomesa(ctx, data_dir, spatial, temporal):
+    """Run this application with the GeoMesa-like baseline."""
+    return _run_baseline("geomesa", ctx, data_dir, spatial, temporal)
+
+
+def run_geospark(ctx, data_dir, spatial, temporal):
+    """Run this application with the GeoSpark-like baseline."""
+    return _run_baseline("geospark", ctx, data_dir, spatial, temporal)

@@ -1,0 +1,60 @@
+"""Application: event count per 1-hour time-series slot (NYC).
+
+ST4ML converts with the optimized Event2Ts path (regular slots → analytic
+shortcut) and aggregates per executor with no shuffle; the baselines scan
+the slot list per record and count with the shuffle-everything
+``groupByKey`` pattern (they have no structure index or map-side
+pre-aggregation to lean on).
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import baseline_select, group_count, naive_cell_scan
+from repro.core.converters.singular_to_collective import Event2TsConverter
+from repro.core.extractors.timeseries import TsFlowExtractor
+from repro.core.selector import Selector
+from repro.core.structures import TimeSeriesStructure
+from repro.engine.context import EngineContext
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+SLOT_SECONDS = 3_600.0
+
+
+def _structure(temporal: Duration) -> TimeSeriesStructure:
+    n_slots = max(1, round(temporal.length / SLOT_SECONDS))
+    return TimeSeriesStructure.regular(temporal, n_slots)
+
+
+def run_st4ml(
+    ctx: EngineContext,
+    data_dir,
+    spatial: Envelope,
+    temporal: Duration,
+    partitioner=None,
+) -> list[int]:
+    """Run this application with the ST4ML pipeline."""
+    selector = Selector(spatial, temporal, partitioner=partitioner)
+    selected = selector.select(ctx, data_dir)
+    converter = Event2TsConverter(_structure(temporal))
+    converted = converter.convert(selected)
+    return TsFlowExtractor().extract(converted).cell_values()
+
+
+def _run_baseline(system: str, ctx, data_dir, spatial, temporal) -> list[int]:
+    selected = baseline_select(system, ctx, data_dir, spatial, temporal)
+    structure = _structure(temporal)
+    cells = [(None, slot) for slot in structure.slots]
+    return group_count(
+        selected, lambda ev: naive_cell_scan(cells, ev), structure.n_cells
+    )
+
+
+def run_geomesa(ctx, data_dir, spatial, temporal) -> list[int]:
+    """Run this application with the GeoMesa-like baseline."""
+    return _run_baseline("geomesa", ctx, data_dir, spatial, temporal)
+
+
+def run_geospark(ctx, data_dir, spatial, temporal) -> list[int]:
+    """Run this application with the GeoSpark-like baseline."""
+    return _run_baseline("geospark", ctx, data_dir, spatial, temporal)

@@ -1,0 +1,63 @@
+"""Application: stay points from trajectories, (200 m, 10 min) thresholds."""
+
+from __future__ import annotations
+
+from repro.apps.common import baseline_select, canonical_id, canonical_key
+from repro.core.extractors.trajectory import (
+    TrajStayPointExtractor,
+    extract_stay_points,
+)
+from repro.core.selector import Selector
+from repro.engine.context import EngineContext
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+DISTANCE_METERS = 200.0
+MIN_DURATION_SECONDS = 600.0
+
+
+def _normalize(pairs) -> dict[str, list[tuple[float, float]]]:
+    out = {}
+    for key, points in pairs:
+        out[key if isinstance(key, str) else repr(key)] = [
+            (round(p.lon, 9), round(p.lat, 9)) for p in points
+        ]
+    return out
+
+
+def run_st4ml(
+    ctx: EngineContext,
+    data_dir,
+    spatial: Envelope,
+    temporal: Duration,
+    partitioner=None,
+) -> dict:
+    """Run this application with the ST4ML pipeline."""
+    selector = Selector(spatial, temporal, partitioner=partitioner)
+    selected = selector.select(ctx, data_dir)
+    extractor = TrajStayPointExtractor(DISTANCE_METERS, MIN_DURATION_SECONDS)
+    return _normalize(
+        (canonical_key(k), v) for k, v in extractor.extract(selected).collect()
+    )
+
+
+def _run_baseline(system: str, ctx, data_dir, spatial, temporal) -> dict:
+    selected = baseline_select(system, ctx, data_dir, spatial, temporal)
+    pairs = [
+        (
+            canonical_id(traj),
+            extract_stay_points(traj, DISTANCE_METERS, MIN_DURATION_SECONDS),
+        )
+        for traj in selected.collect()
+    ]
+    return _normalize(pairs)
+
+
+def run_geomesa(ctx, data_dir, spatial, temporal) -> dict:
+    """Run this application with the GeoMesa-like baseline."""
+    return _run_baseline("geomesa", ctx, data_dir, spatial, temporal)
+
+
+def run_geospark(ctx, data_dir, spatial, temporal) -> dict:
+    """Run this application with the GeoSpark-like baseline."""
+    return _run_baseline("geospark", ctx, data_dir, spatial, temporal)

@@ -1,0 +1,72 @@
+"""Application: in/out flow per raster cell (Porto; Table 7's Transition)."""
+
+from __future__ import annotations
+
+from repro.apps.common import baseline_select, naive_cell_scan
+from repro.core.converters.singular_to_collective import Traj2RasterConverter
+from repro.core.extractors.raster import RasterTransitExtractor
+from repro.core.selector import Selector
+from repro.core.structures import RasterStructure
+from repro.engine.context import EngineContext
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+SPATIAL_CELLS = 8   # per side
+TEMPORAL_SLOTS = 24
+
+
+def _structure(spatial: Envelope, temporal: Duration) -> RasterStructure:
+    return RasterStructure.regular(
+        spatial, temporal, SPATIAL_CELLS, SPATIAL_CELLS, TEMPORAL_SLOTS
+    )
+
+
+def run_st4ml(
+    ctx: EngineContext,
+    data_dir,
+    spatial: Envelope,
+    temporal: Duration,
+    partitioner=None,
+) -> list[tuple[int, int]]:
+    """Run this application with the ST4ML pipeline."""
+    selector = Selector(spatial, temporal, partitioner=partitioner)
+    selected = selector.select(ctx, data_dir)
+    converted = Traj2RasterConverter(_structure(spatial, temporal)).convert(selected)
+    return RasterTransitExtractor().extract(converted).cell_values()
+
+
+def _run_baseline(system, ctx, data_dir, spatial, temporal):
+    selected = baseline_select(system, ctx, data_dir, spatial, temporal)
+    structure = _structure(spatial, temporal)
+    cells = list(structure.cells)
+    extractor = RasterTransitExtractor()
+
+    def per_traj(traj) -> list[tuple[int, tuple[int, int]]]:
+        out = []
+        for cell_id in naive_cell_scan(cells, traj):
+            geom, dur = cells[cell_id]
+            out.append((cell_id, extractor.local([traj], geom, dur)))
+        return out
+
+    grouped = (
+        selected.flat_map(per_traj)
+        .group_by_key()
+        .map(
+            lambda kv: (
+                kv[0],
+                (sum(v[0] for v in kv[1]), sum(v[1] for v in kv[1])),
+            )
+        )
+        .collect_as_map()
+    )
+    return [grouped.get(i, (0, 0)) for i in range(structure.n_cells)]
+
+
+def run_geomesa(ctx, data_dir, spatial, temporal):
+    """Run this application with the GeoMesa-like baseline."""
+    return _run_baseline("geomesa", ctx, data_dir, spatial, temporal)
+
+
+def run_geospark(ctx, data_dir, spatial, temporal):
+    """Run this application with the GeoSpark-like baseline."""
+    return _run_baseline("geospark", ctx, data_dir, spatial, temporal)

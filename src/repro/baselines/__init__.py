@@ -1,0 +1,38 @@
+"""Straightforward extensions of existing systems (paper Section 5.2).
+
+The paper compares ST4ML against end-to-end solutions built the obvious
+way on GeoSpark and GeoMesa.  These baselines reproduce those solutions'
+*costs* faithfully on our engine:
+
+* :class:`GeoSparkLike` — ad-hoc in-memory ingestion: **all** data loaded
+  from disk every run, spatial-only KDB partitioning, temporal attributes
+  carried as strings that must be parsed per use, naive (full-scan)
+  conversions;
+* :class:`GeoMesaLike` — persistent entry-level index: records keyed by a
+  simplified XZ2 curve + the start timestamp, stored in sorted blocks;
+  selection prunes blocks by key range and time, but in-memory processing
+  is unoptimized (no structure R-tree, ``groupByKey``-style aggregation)
+  and trajectory timestamps are strings needing reformation.
+
+Both share the record format of the paper's Table 1 "original"
+representation — a linestring + timestamp-string array + id — so the
+reformation cost the paper describes is physically incurred.
+"""
+
+from repro.baselines.records import (
+    instance_to_geo_record,
+    geo_record_to_instance,
+    format_timestamp,
+    parse_timestamp,
+)
+from repro.baselines.geospark_like import GeoSparkLike
+from repro.baselines.geomesa_like import GeoMesaLike
+
+__all__ = [
+    "GeoSparkLike",
+    "GeoMesaLike",
+    "instance_to_geo_record",
+    "geo_record_to_instance",
+    "format_timestamp",
+    "parse_timestamp",
+]

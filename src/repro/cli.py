@@ -1,0 +1,183 @@
+"""Command-line interface: preprocessing, indexing, and selection.
+
+The paper's Figure 1a points out that the legacy workflow forces
+application programmers through CLIs for ingestion; ST4ML folds the
+preprocessing step into the system.  This CLI covers the operational
+surface a data engineer needs without writing code:
+
+* ``generate`` — synthesize a seeded dataset (nyc / porto / air / osm);
+* ``index``    — T-STR-partition an existing dataset and (re)build its
+  on-disk metadata index;
+* ``select``   — run a metadata-pruned ST range selection and report the
+  pruning statistics;
+* ``info``     — print a dataset's metadata summary.
+
+Usage::
+
+    python -m repro.cli generate nyc --records 50000 --out data/nyc
+    python -m repro.cli select data/nyc --bbox -74.0 40.6 -73.9 40.8 \
+        --time 1356998400 1357603200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.datasets import (
+    generate_air_records,
+    generate_nyc_events,
+    generate_osm_pois,
+    generate_porto_trajectories,
+)
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.partitioners import TSTRPartitioner
+from repro.stio import StDataset, save_dataset
+from repro.temporal import Duration
+
+_GENERATORS = {
+    "nyc": ("event", lambda n, seed: generate_nyc_events(n, seed=seed)),
+    "porto": ("trajectory", lambda n, seed: generate_porto_trajectories(n, seed=seed)),
+    "air": (
+        "event",
+        lambda n, seed: generate_air_records(
+            n_stations=max(1, n // 100), hours=100, seed=seed
+        ),
+    ),
+    "osm": ("event", lambda n, seed: generate_osm_pois(n, seed=seed)),
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kind, generator = _GENERATORS[args.dataset]
+    instances = generator(args.records, args.seed)
+    ctx = EngineContext(default_parallelism=args.parallelism)
+    partitioner = TSTRPartitioner(args.gt, args.gs) if args.indexed else None
+    save_dataset(args.out, instances, kind, partitioner=partitioner, ctx=ctx)
+    print(
+        f"wrote {len(instances):,} {kind} records to {args.out} "
+        f"({'T-STR indexed' if args.indexed else 'unindexed'})"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    ctx = EngineContext(default_parallelism=args.parallelism)
+    ds = StDataset(args.path)
+    meta = ds.metadata()
+    rdd, _ = ds.read(ctx)
+    StDataset.write_rdd(
+        args.out or args.path,
+        rdd,
+        meta.instance_type,
+        partitioner=TSTRPartitioner(args.gt, args.gs),
+    )
+    print(
+        f"re-indexed {meta.total_records:,} records "
+        f"({meta.instance_type}) with T-STR(gt={args.gt}, gs={args.gs})"
+    )
+    return 0
+
+
+def _parse_query(args: argparse.Namespace) -> tuple[Envelope | None, Duration | None]:
+    spatial = None
+    temporal = None
+    if args.bbox:
+        min_x, min_y, max_x, max_y = args.bbox
+        spatial = Envelope(min_x, min_y, max_x, max_y)
+    if args.time:
+        temporal = Duration(args.time[0], args.time[1])
+    return spatial, temporal
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    spatial, temporal = _parse_query(args)
+    if spatial is None and temporal is None:
+        print("select needs --bbox and/or --time", file=sys.stderr)
+        return 2
+    ctx = EngineContext(default_parallelism=args.parallelism)
+    from repro.core import Selector
+
+    selector = Selector(spatial, temporal)
+    start = time.perf_counter()
+    selected = selector.select(ctx, args.path, use_metadata=not args.full_scan)
+    count = selected.count()
+    elapsed = time.perf_counter() - start
+    stats = selector.last_load_stats
+    print(f"selected {count:,} records in {elapsed:.2f}s")
+    if stats is not None:
+        print(
+            f"partitions read: {stats.partitions_read}/{stats.partitions_total}  "
+            f"records deserialized: {stats.records_loaded:,}  "
+            f"bytes read: {stats.bytes_read:,}"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    meta = StDataset(args.path).metadata()
+    print(f"dataset: {args.path}")
+    print(f"instance type: {meta.instance_type}")
+    print(f"partitions: {len(meta.partitions)}")
+    print(f"records: {meta.total_records:,}")
+    non_empty = [p for p in meta.partitions if p.count]
+    if non_empty:
+        sizes = [p.count for p in non_empty]
+        print(
+            f"partition sizes: min={min(sizes)} max={max(sizes)} "
+            f"mean={sum(sizes) / len(sizes):.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ST4ML reproduction: dataset tooling"
+    )
+    parser.add_argument("--parallelism", type=int, default=8)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a seeded dataset")
+    gen.add_argument("dataset", choices=sorted(_GENERATORS))
+    gen.add_argument("--records", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=17)
+    gen.add_argument("--out", type=Path, required=True)
+    gen.add_argument("--indexed", action="store_true", default=True)
+    gen.add_argument("--no-indexed", dest="indexed", action="store_false")
+    gen.add_argument("--gt", type=int, default=4)
+    gen.add_argument("--gs", type=int, default=4)
+    gen.set_defaults(func=_cmd_generate)
+
+    idx = sub.add_parser("index", help="(re)build the T-STR on-disk index")
+    idx.add_argument("path", type=Path)
+    idx.add_argument("--out", type=Path, default=None)
+    idx.add_argument("--gt", type=int, default=4)
+    idx.add_argument("--gs", type=int, default=4)
+    idx.set_defaults(func=_cmd_index)
+
+    sel = sub.add_parser("select", help="metadata-pruned ST range selection")
+    sel.add_argument("path", type=Path)
+    sel.add_argument("--bbox", type=float, nargs=4, metavar=("MIN_X", "MIN_Y", "MAX_X", "MAX_Y"))
+    sel.add_argument("--time", type=float, nargs=2, metavar=("START", "END"))
+    sel.add_argument("--full-scan", action="store_true", help="bypass the metadata index")
+    sel.set_defaults(func=_cmd_select)
+
+    info = sub.add_parser("info", help="print dataset metadata")
+    info.add_argument("path", type=Path)
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

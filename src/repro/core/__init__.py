@@ -1,0 +1,32 @@
+"""The ST4ML core: Selection → Conversion → Extraction (paper Section 3).
+
+* :class:`Selector` — metadata-pruned loading, per-partition R-tree
+  filtering, ST-aware repartitioning;
+* :mod:`repro.core.structures` — collective structure descriptors (regular
+  and irregular) shared by the converters;
+* :mod:`repro.core.converters` — all instance conversions, with the naive /
+  R-tree / regular-grid allocation strategies of Section 4.2;
+* :mod:`repro.core.extractors` — the built-in extractors of Table 3 and
+  the custom-extractor hook;
+* :class:`InstanceRDD` — the RDD extension API of Table 4;
+* :class:`Pipeline` — the three-stage composition helper used by the
+  examples and the end-to-end benchmarks.
+"""
+
+from repro.core.selector import Selector
+from repro.core.api import InstanceRDD
+from repro.core.pipeline import Pipeline
+from repro.core.structures import (
+    RasterStructure,
+    SpatialMapStructure,
+    TimeSeriesStructure,
+)
+
+__all__ = [
+    "Selector",
+    "InstanceRDD",
+    "Pipeline",
+    "TimeSeriesStructure",
+    "SpatialMapStructure",
+    "RasterStructure",
+]

@@ -1,0 +1,68 @@
+"""The RDD extension interfaces of Table 4.
+
+``InstanceRDD`` wraps an engine RDD of *collective* instances and exposes
+the five cell-level operators the paper adds for application programmers:
+``mapValue``, ``mapValuePlus``, ``mapData``, ``mapDataPlus``, and
+``collectAndMerge``.  Everything else delegates to the wrapped RDD, so
+native operations remain available (the paper's third extension level).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.rdd import RDD
+from repro.geometry.base import Geometry
+from repro.temporal.duration import Duration
+
+
+class InstanceRDD:
+    """A collective-instance RDD with the Table 4 cell-level operators."""
+
+    def __init__(self, rdd: RDD):
+        self.rdd = rdd
+
+    # -- Table 4 operators -----------------------------------------------------
+
+    def map_value(self, f: Callable[[Any], Any]) -> "InstanceRDD":
+        """Map every cell value of every instance (``cRDD.mapValue``)."""
+        return InstanceRDD(self.rdd.map(lambda inst: inst.map_value(f)))
+
+    def map_value_plus(
+        self, f: Callable[[Any, Geometry, Duration], Any]
+    ) -> "InstanceRDD":
+        """Like :meth:`map_value` but with each cell's ST boundaries
+        (``cRDD.mapValuePlus``)."""
+        return InstanceRDD(self.rdd.map(lambda inst: inst.map_value_plus(f)))
+
+    def map_data(self, f: Callable[[Any], Any]) -> "InstanceRDD":
+        """Map each instance's data field (``cRDD.mapData``)."""
+        return InstanceRDD(self.rdd.map(lambda inst: inst.map_data(f)))
+
+    def map_data_plus(
+        self, f: Callable[[Any, list[Geometry], list[Duration]], Any]
+    ) -> "InstanceRDD":
+        """Like :meth:`map_data` but with the full structure boundaries
+        (``cRDD.mapDataPlus``)."""
+        return InstanceRDD(self.rdd.map(lambda inst: inst.map_data_plus(f)))
+
+    def collect_and_merge(self, init: Any, f: Callable[[Any, Any], Any]) -> Any:
+        """Fetch to the driver and fold all cell values into ``init``
+        (``cRDD.collectAndMerge``)."""
+        acc = init
+        for inst in self.rdd.collect():
+            for entry in inst.entries:
+                acc = f(acc, entry.value)
+        return acc
+
+    def merge_instances(self, combine: Callable[[Any, Any], Any]) -> Any:
+        """Fold the per-partition partial instances into one (cell-wise)."""
+        return self.rdd.reduce(lambda a, b: a.merge_with(b, combine))
+
+    # -- delegation ----------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self.rdd, name)
+
+    def __repr__(self) -> str:
+        return f"InstanceRDD({self.rdd!r})"

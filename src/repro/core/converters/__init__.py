@@ -1,0 +1,56 @@
+"""Instance converters (paper Sections 3.2.2 and 4.2).
+
+Singular→collective converters broadcast the (empty) structure — plus its
+cell R-tree when the structure is irregular — to every executor, allocate
+local instances into cells, and apply the optional ``agg`` per cell, with
+no data shuffle.  The allocation strategy (naive scan / R-tree /
+regular-grid arithmetic) is selectable per call, which is exactly the
+comparison Figure 6 runs.
+
+Singular→singular covers trajectory↔event restructuring and the
+map-matching calibration conversions; collective→* covers flattening and
+regrouping of structure cells.
+"""
+
+from repro.core.converters.base import AllocationStats, ToCollectiveConverter
+from repro.core.converters.singular_to_collective import (
+    Event2RasterConverter,
+    Event2SmConverter,
+    Event2TsConverter,
+    Traj2RasterConverter,
+    Traj2SmConverter,
+    Traj2TsConverter,
+)
+from repro.core.converters.singular_to_singular import (
+    Event2TrajConverter,
+    Traj2EventConverter,
+)
+from repro.core.converters.collective import (
+    CollectiveToSingularConverter,
+    Raster2SmConverter,
+    Raster2TsConverter,
+    Sm2RasterConverter,
+    Sm2TsConverter,
+    Ts2RasterConverter,
+    Ts2SmConverter,
+)
+
+__all__ = [
+    "AllocationStats",
+    "ToCollectiveConverter",
+    "Event2TsConverter",
+    "Event2SmConverter",
+    "Event2RasterConverter",
+    "Traj2TsConverter",
+    "Traj2SmConverter",
+    "Traj2RasterConverter",
+    "Traj2EventConverter",
+    "Event2TrajConverter",
+    "CollectiveToSingularConverter",
+    "Raster2SmConverter",
+    "Raster2TsConverter",
+    "Sm2RasterConverter",
+    "Sm2TsConverter",
+    "Ts2RasterConverter",
+    "Ts2SmConverter",
+]

@@ -1,0 +1,211 @@
+"""Collective→singular and collective→collective conversions.
+
+All of these run per partition with no shuffle (paper Section 3.2.2): each
+executor's partial collective instance is transformed independently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.rdd import RDD
+from repro.geometry.base import Geometry
+from repro.instances.collective import CollectiveInstance
+from repro.instances.raster import Raster
+from repro.instances.spatialmap import SpatialMap
+from repro.instances.timeseries import TimeSeries
+from repro.temporal.duration import Duration
+
+
+class CollectiveToSingularConverter:
+    """Flatten cell arrays back into singular instances.
+
+    Requires cell values of type ``Array[SingularInstance]`` (the paper's
+    precondition).  When the upstream conversion duplicated an instance
+    into several cells, ``distinct_key`` deduplicates by that key.
+    """
+
+    def __init__(self, distinct_key: Callable[[Any], Any] | None = None):
+        self.distinct_key = distinct_key
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        distinct_key = self.distinct_key
+
+        def flatten(instance: CollectiveInstance) -> list:
+            out = []
+            seen = set()
+            for entry in instance.entries:
+                if not isinstance(entry.value, (list, tuple)):
+                    raise TypeError(
+                        "collective→singular conversion needs Array-typed cell "
+                        f"values, got {type(entry.value).__name__}"
+                    )
+                for singular in entry.value:
+                    if distinct_key is not None:
+                        key = distinct_key(singular)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    out.append(singular)
+            return out
+
+        return rdd.flat_map(flatten)
+
+
+class Raster2SmConverter:
+    """Group raster cells by their spatial attribute (paper Section 3.2.2).
+
+    ``combine`` folds the values of cells sharing a geometry; the result's
+    cell order follows first appearance in the raster.
+    """
+
+    def __init__(self, combine: Callable[[Any, Any], Any]):
+        self.combine = combine
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        combine = self.combine
+
+        def regroup(raster: Raster) -> SpatialMap:
+            order: list[Geometry] = []
+            values: dict[Geometry, Any] = {}
+            durations: dict[Geometry, Duration] = {}
+            for entry in raster.entries:
+                geom = entry.spatial
+                if geom in values:
+                    values[geom] = combine(values[geom], entry.value)
+                    durations[geom] = durations[geom].merge(entry.temporal)
+                else:
+                    order.append(geom)
+                    values[geom] = entry.value
+                    durations[geom] = entry.temporal
+            from repro.instances.base import Entry
+
+            return SpatialMap(
+                [Entry(g, durations[g], values[g]) for g in order], raster.data
+            )
+
+        return rdd.map(regroup)
+
+
+class Raster2TsConverter:
+    """Group raster cells by their temporal attribute."""
+
+    def __init__(self, combine: Callable[[Any, Any], Any]):
+        self.combine = combine
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        combine = self.combine
+
+        def regroup(raster: Raster) -> TimeSeries:
+            order: list[Duration] = []
+            values: dict[Duration, Any] = {}
+            for entry in raster.entries:
+                dur = entry.temporal
+                if dur in values:
+                    values[dur] = combine(values[dur], entry.value)
+                else:
+                    order.append(dur)
+                    values[dur] = entry.value
+            order.sort(key=lambda d: (d.start, d.end))
+            return TimeSeries.of_slots(order, data=raster.data).with_cell_values(
+                [values[d] for d in order]
+            )
+
+        return rdd.map(regroup)
+
+
+class Sm2RasterConverter:
+    """Spatial map → single-slot raster (paper: "a general spatial map can
+    only be converted to ... a raster with one cell" per spatial cell; the
+    temporal range is the union of the cell durations)."""
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        def lift(sm: SpatialMap) -> Raster:
+            extent = Duration.merge_all(e.temporal for e in sm.entries)
+            return Raster.of_cells(
+                [(e.spatial, extent) for e in sm.entries], data=sm.data
+            ).with_cell_values([e.value for e in sm.entries])
+
+        return rdd.map(lift)
+
+
+class Ts2RasterConverter:
+    """Time series → raster whose single spatial cell covers everything."""
+
+    def __init__(self, spatial: Geometry):
+        self.spatial = spatial
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        spatial = self.spatial
+
+        def lift(ts: TimeSeries) -> Raster:
+            return Raster.of_cells(
+                [(spatial, e.temporal) for e in ts.entries], data=ts.data
+            ).with_cell_values([e.value for e in ts.entries])
+
+        return rdd.map(lift)
+
+
+class Sm2TsConverter:
+    """Spatial map → time series *with one slot* (paper Section 3.2.2).
+
+    "A general spatial map can only be converted to a time series with one
+    slot ... the temporal range of the converted instance is the union of
+    the durations of the original spatial map cells.  The rules of
+    combining the value and data fields have to be explicitly defined."
+    """
+
+    def __init__(self, combine: Callable[[Any, Any], Any]):
+        self.combine = combine
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        combine = self.combine
+
+        def collapse(sm: SpatialMap) -> TimeSeries:
+            extent = Duration.merge_all(e.temporal for e in sm.entries)
+            value = sm.entries[0].value
+            for entry in sm.entries[1:]:
+                value = combine(value, entry.value)
+            return TimeSeries.of_slots([extent], data=sm.data).with_cell_values([value])
+
+        return rdd.map(collapse)
+
+
+class Ts2SmConverter:
+    """Time series → spatial map *with one cell* (the symmetric collapse).
+
+    The single cell's geometry is the union MBR of the slot geometries
+    (or an explicit ``spatial`` when the series' placeholder geometry
+    carries no information, the common case).
+    """
+
+    def __init__(self, combine: Callable[[Any, Any], Any], spatial: Geometry | None = None):
+        self.combine = combine
+        self.spatial = spatial
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        combine = self.combine
+        spatial = self.spatial
+
+        def collapse(ts: TimeSeries) -> SpatialMap:
+            from repro.geometry.envelope import Envelope
+
+            geom = spatial or Envelope.merge_all(
+                e.spatial.envelope for e in ts.entries
+            )
+            value = ts.entries[0].value
+            for entry in ts.entries[1:]:
+                value = combine(value, entry.value)
+            extent = Duration.merge_all(e.temporal for e in ts.entries)
+            return SpatialMap.of_geometries(
+                [geom], temporal=extent, data=ts.data
+            ).with_cell_values([value])
+
+        return rdd.map(collapse)

@@ -1,0 +1,102 @@
+"""Singular→singular conversions (paper Section 3.2.2).
+
+* trajectory→event: take the sojourn points out — a pure ``flatMap``;
+* event→trajectory: group events by an identity key and time-order them.
+  The implementation uses the engine's map-side combine (``reduceByKey``
+  on list concatenation) — the paper's "map-side join mechanism to reduce
+  data shuffling": events are merged locally per partition before the
+  cross-machine shuffle.
+
+The calibration conversions (trajectory→trajectory map matching and
+event→event road snapping) live in :mod:`repro.mapmatching.converters`
+because they need the road-network substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.rdd import RDD
+from repro.instances.event import Event
+from repro.instances.trajectory import Trajectory
+
+
+class Traj2EventConverter:
+    """Explode each trajectory into its sojourn-point events.
+
+    Each emitted event carries the entry value, and ``data`` is the source
+    trajectory's data (so events stay traceable to their trip).
+    """
+
+    def __init__(self, keep_index: bool = False):
+        #: When set, each event's value becomes ``(index, original value)``
+        #: so downstream logic can recover point order.
+        self.keep_index = keep_index
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        keep_index = self.keep_index
+
+        def explode(traj: Trajectory) -> list[Event]:
+            events = []
+            for i, e in enumerate(traj.entries):
+                value = (i, e.value) if keep_index else e.value
+                events.append(Event(e.spatial, e.temporal, value, traj.data))
+            return events
+
+        return rdd.flat_map(explode)
+
+
+class Event2TrajConverter:
+    """Stitch events into trajectories, grouped by an identity key.
+
+    ``key_func`` defaults to the event's ``data`` field (e.g. the vehicle
+    plate id of the Section 6 case study).  Events are combined locally on
+    each partition first (map-side), shuffled once, and time-sorted on the
+    reduce side.
+    """
+
+    def __init__(
+        self,
+        key_func: Callable[[Event], Any] | None = None,
+        num_partitions: int | None = None,
+        min_points: int = 1,
+    ):
+        self.key_func = key_func or (lambda ev: ev.data)
+        self.num_partitions = num_partitions
+        self.min_points = min_points
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        key_func = self.key_func
+        min_points = self.min_points
+
+        def to_pair(ev: Event) -> tuple:
+            return (key_func(ev), (ev.spatial.x, ev.spatial.y, ev.temporal.start, ev.value))
+
+        # In-place combiners: ``create`` always allocates a fresh list and
+        # combined values flow linearly through the shuffle, so mutation is
+        # safe — the standard Spark combiner idiom, linear instead of the
+        # quadratic cost of repeated list concatenation.
+        def create(point: tuple) -> list:
+            return [point]
+
+        def merge_value(acc: list, point: tuple) -> list:
+            acc.append(point)
+            return acc
+
+        def merge_combiners(a: list, b: list) -> list:
+            a.extend(b)
+            return a
+
+        def build(kv: tuple) -> list[Trajectory]:
+            key, points = kv
+            if len(points) < min_points:
+                return []
+            return [Trajectory.of_points(points, data=key, sort=True)]
+
+        return (
+            rdd.map(to_pair)
+            .combine_by_key(create, merge_value, merge_combiners, self.num_partitions)
+            .flat_map(build)
+        )

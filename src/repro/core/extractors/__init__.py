@@ -1,0 +1,59 @@
+"""Built-in feature extractors (paper Table 3) plus the custom hook.
+
+Extractors for singular instances map/flat-map over the instance RDD;
+extractors for collective instances aggregate per cell locally on each
+partition's partial instance and then merge the partials with a single
+``reduce`` — the "local aggregation, then transfer the reduced results"
+pattern the paper contrasts with naive ``groupByKey`` pipelines.
+"""
+
+from repro.core.extractors.base import CellAggExtractor, CustomExtractor
+from repro.core.extractors.event import (
+    EventAnomalyExtractor,
+    EventClusterExtractor,
+    EventCompanionExtractor,
+)
+from repro.core.extractors.trajectory import (
+    TrajCompanionExtractor,
+    TrajOdExtractor,
+    TrajSpeedExtractor,
+    TrajStayPointExtractor,
+    TrajTurningExtractor,
+)
+from repro.core.extractors.timeseries import (
+    TsFlowExtractor,
+    TsSpeedExtractor,
+    TsWindowFreqExtractor,
+)
+from repro.core.extractors.spatialmap import (
+    SmFlowExtractor,
+    SmSpeedExtractor,
+    SmTransitExtractor,
+)
+from repro.core.extractors.raster import (
+    RasterFlowExtractor,
+    RasterSpeedExtractor,
+    RasterTransitExtractor,
+)
+
+__all__ = [
+    "CellAggExtractor",
+    "CustomExtractor",
+    "EventAnomalyExtractor",
+    "EventCompanionExtractor",
+    "EventClusterExtractor",
+    "TrajSpeedExtractor",
+    "TrajOdExtractor",
+    "TrajStayPointExtractor",
+    "TrajTurningExtractor",
+    "TrajCompanionExtractor",
+    "TsFlowExtractor",
+    "TsSpeedExtractor",
+    "TsWindowFreqExtractor",
+    "SmFlowExtractor",
+    "SmSpeedExtractor",
+    "SmTransitExtractor",
+    "RasterFlowExtractor",
+    "RasterSpeedExtractor",
+    "RasterTransitExtractor",
+]

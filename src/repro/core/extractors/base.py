@@ -1,0 +1,75 @@
+"""Extractor base classes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.engine.rdd import RDD
+from repro.geometry.base import Geometry
+from repro.instances.collective import CollectiveInstance
+from repro.temporal.duration import Duration
+
+
+class CustomExtractor:
+    """Wrap a user RDD function as an extractor — the ``Extractor(f)``
+    pattern of Section 3.3.
+
+    Example::
+
+        f = lambda rdd: InstanceRDD(rdd).map_value_plus(extract_stay_point).rdd
+        extractor = CustomExtractor(f)
+        result = extractor.extract(converted_rdd)
+    """
+
+    def __init__(self, f: Callable[[RDD], RDD]):
+        self.f = f
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        return self.f(rdd)
+
+
+class CellAggExtractor(ABC):
+    """Template for collective-instance extractors.
+
+    Subclasses define a three-phase aggregation over cell values:
+
+    * :meth:`local` — per-cell partial aggregate, computed on each
+      partition's partial collective instance (cell values there are the
+      arrays the converter allocated locally);
+    * :meth:`merge` — combine two partials of the same cell (commutative
+      and associative);
+    * :meth:`finalize` — partial → extracted feature.
+
+    ``extract`` returns a single collective instance whose cell values are
+    the extracted features; the only cross-partition traffic is the
+    ``reduce`` over per-cell partials, never the raw data.
+    """
+
+    @abstractmethod
+    def local(self, values: list, spatial: Geometry, temporal: Duration) -> Any:
+        """Partial aggregate of one cell's locally-allocated array."""
+
+    @abstractmethod
+    def merge(self, a: Any, b: Any) -> Any:
+        """Combine two partial aggregates."""
+
+    def finalize(self, partial: Any) -> Any:
+        """Partial aggregate → final feature (identity by default)."""
+        return partial
+
+    def extract(self, rdd: RDD) -> CollectiveInstance:
+        """Run this extraction on the RDD (see class docstring)."""
+        local = self.local
+        merge = self.merge
+
+        def to_partial(instance: CollectiveInstance) -> CollectiveInstance:
+            return instance.map_value_plus(local)
+
+        merged = rdd.map(to_partial).reduce(lambda a, b: a.merge_with(b, merge))
+        return merged.map_value(self.finalize)
+
+    def extract_values(self, rdd: RDD) -> list:
+        """Convenience: just the per-cell features, in cell order."""
+        return self.extract(rdd).cell_values()

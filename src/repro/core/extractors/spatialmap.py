@@ -1,0 +1,113 @@
+"""Spatial-map extractors: flow, speed, transit."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.extractors.base import CellAggExtractor
+from repro.engine.rdd import RDD
+from repro.geometry.base import Geometry
+from repro.instances.collective import CollectiveInstance
+from repro.instances.trajectory import Trajectory
+from repro.temporal.duration import Duration
+
+
+class SmFlowExtractor(CellAggExtractor):
+    """Record count per spatial cell (regional flow / POI count).
+
+    Counts the instances allocated to each cell; with events this is the
+    POI-count application of Table 7, with trajectories the regional flow.
+    """
+
+    def local(self, values: list, spatial: Geometry, temporal: Duration) -> int:
+        """Per-cell partial aggregate (see CellAggExtractor)."""
+        return len(values)
+
+    def merge(self, a: int, b: int) -> int:
+        """Combine two per-cell partial aggregates (see CellAggExtractor)."""
+        return a + b
+
+
+class SmSpeedExtractor(CellAggExtractor):
+    """Mean trajectory speed per spatial cell (the grid-speed application).
+
+    Averages the whole-trajectory speed of each allocated trajectory —
+    cheap and robust; per-cell sub-trajectory speeds are available through
+    :class:`~repro.core.extractors.raster.RasterSpeedExtractor` when the
+    temporal dimension matters.
+    """
+
+    def __init__(self, unit: str = "kmh"):
+        if unit not in ("kmh", "ms"):
+            raise ValueError("unit must be 'kmh' or 'ms'")
+        self.unit = unit
+
+    def local(
+        self, values: list, spatial: Geometry, temporal: Duration
+    ) -> tuple[float, int]:
+        """Per-cell partial aggregate (see CellAggExtractor)."""
+        total = 0.0
+        count = 0
+        for traj in values:
+            if not isinstance(traj, Trajectory):
+                raise TypeError("SmSpeedExtractor expects trajectory cell arrays")
+            speed = (
+                traj.average_speed_kmh() if self.unit == "kmh" else traj.average_speed_ms()
+            )
+            total += speed
+            count += 1
+        return (total, count)
+
+    def merge(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        """Combine two per-cell partial aggregates (see CellAggExtractor)."""
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, partial: tuple[float, int]) -> float | None:
+        """Partial aggregate to final feature (see CellAggExtractor)."""
+        total, count = partial
+        return total / count if count else None
+
+
+class SmTransitExtractor:
+    """Cell-to-cell transition counts from trajectories.
+
+    For each trajectory, the visited cell sequence (ordered by entry time)
+    contributes one count per consecutive cell pair.  Returns an RDD of
+    ``((from_cell, to_cell), count)``.  Input cells are identified by
+    their position in the spatial map.
+    """
+
+    def __init__(self, include_self_loops: bool = False):
+        self.include_self_loops = include_self_loops
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        include_self = self.include_self_loops
+
+        def transitions(instance: CollectiveInstance) -> list[tuple]:
+            # Rebuild each trajectory's visit sequence: for every cell, the
+            # first timestamp of the trajectory's points inside it.
+            visits: dict = defaultdict(list)  # traj id -> [(t_enter, cell)]
+            for cell_id, entry in enumerate(instance.entries):
+                for traj in entry.value:
+                    if not isinstance(traj, Trajectory):
+                        raise TypeError(
+                            "SmTransitExtractor expects trajectory cell arrays"
+                        )
+                    inside = [
+                        e.temporal.start
+                        for e in traj.entries
+                        if entry.spatial.intersects(e.spatial)
+                    ]
+                    if inside:
+                        visits[traj.data].append((min(inside), cell_id))
+            pairs: list[tuple] = []
+            for sequence in visits.values():
+                sequence.sort()
+                for (_, a), (_, b) in zip(sequence, sequence[1:]):
+                    if a == b and not include_self:
+                        continue
+                    pairs.append(((a, b), 1))
+            return pairs
+
+        return rdd.flat_map(transitions).reduce_by_key(lambda a, b: a + b)

@@ -1,0 +1,225 @@
+"""Trajectory extractors: speed, OD, stay point, turning, companion."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.engine.rdd import RDD
+from repro.geometry.distance import (
+    METERS_PER_DEGREE_LAT,
+    haversine_distance,
+    meters_per_degree_lon,
+)
+from repro.instances.trajectory import Trajectory, TrajectoryPoint
+
+
+class TrajSpeedExtractor:
+    """Average speed per trajectory → RDD of ``(data, speed)``.
+
+    ``unit`` is ``"kmh"`` or ``"ms"`` (the paper's
+    ``RasterSpeedExtractor(unit = "kmh")`` exposes the same knob).
+    """
+
+    def __init__(self, unit: str = "kmh"):
+        if unit not in ("kmh", "ms"):
+            raise ValueError("unit must be 'kmh' or 'ms'")
+        self.unit = unit
+
+    def speed_of(self, traj: Trajectory) -> float:
+        """The trajectory's average speed in the configured unit."""
+        return (
+            traj.average_speed_kmh() if self.unit == "kmh" else traj.average_speed_ms()
+        )
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        return rdd.map(lambda traj: (traj.data, self.speed_of(traj)))
+
+
+class TrajOdExtractor:
+    """Origin-destination pair per trajectory.
+
+    Emits ``(data, (origin_lon, origin_lat), (dest_lon, dest_lat))``.
+    """
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        def od(traj: Trajectory) -> tuple:
+            first = traj.entries[0].spatial
+            last = traj.entries[-1].spatial
+            return (traj.data, (first.x, first.y), (last.x, last.y))
+
+        return rdd.map(od)
+
+
+def extract_stay_points(
+    traj: Trajectory,
+    distance_meters: float,
+    min_duration_seconds: float,
+) -> list[TrajectoryPoint]:
+    """The classic stay-point detection of Li et al. / Zheng & Xie.
+
+    Anchored at point ``i``, extend ``j`` while every point stays within
+    ``distance_meters`` of the anchor; if the dwell time reaches
+    ``min_duration_seconds``, emit the centroid of the run as a stay point
+    and restart after it.
+    """
+    pts = traj.points()
+    stay_points: list[TrajectoryPoint] = []
+    i = 0
+    n = len(pts)
+    while i < n - 1:
+        j = i + 1
+        while j < n:
+            d = haversine_distance(pts[i].lon, pts[i].lat, pts[j].lon, pts[j].lat)
+            if d > distance_meters:
+                break
+            j += 1
+        # Points i .. j-1 stay within the radius of the anchor.
+        dwell = pts[j - 1].t - pts[i].t
+        if dwell >= min_duration_seconds and j - i >= 2:
+            run = pts[i:j]
+            stay_points.append(
+                TrajectoryPoint(
+                    sum(p.lon for p in run) / len(run),
+                    sum(p.lat for p in run) / len(run),
+                    (pts[i].t + pts[j - 1].t) / 2.0,
+                    value=dwell,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stay_points
+
+
+class TrajStayPointExtractor:
+    """Stay points per trajectory → RDD of ``(data, [TrajectoryPoint])``.
+
+    Thresholds default to the paper's (200 m, 10 min) experiment.
+    """
+
+    def __init__(self, distance_meters: float = 200.0, min_duration_seconds: float = 600.0):
+        if distance_meters <= 0 or min_duration_seconds <= 0:
+            raise ValueError("thresholds must be positive")
+        self.distance_meters = distance_meters
+        self.min_duration_seconds = min_duration_seconds
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        d = self.distance_meters
+        t = self.min_duration_seconds
+        return rdd.map(lambda traj: (traj.data, extract_stay_points(traj, d, t)))
+
+
+class TrajTurningExtractor:
+    """Sharp-turn points per trajectory.
+
+    Emits ``(data, [(lon, lat, t, turn_degrees)])`` for heading changes
+    of at least ``angle_degrees``.
+    """
+
+    def __init__(self, angle_degrees: float = 60.0):
+        if not 0 < angle_degrees <= 180:
+            raise ValueError("angle must be in (0, 180]")
+        self.angle_degrees = angle_degrees
+
+    @staticmethod
+    def _heading(a: TrajectoryPoint, b: TrajectoryPoint) -> float | None:
+        dx = b.lon - a.lon
+        dy = b.lat - a.lat
+        if dx == 0.0 and dy == 0.0:
+            return None
+        return math.degrees(math.atan2(dy, dx))
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        threshold = self.angle_degrees
+
+        def turns(traj: Trajectory) -> tuple:
+            pts = traj.points()
+            found = []
+            for i in range(1, len(pts) - 1):
+                h1 = self._heading(pts[i - 1], pts[i])
+                h2 = self._heading(pts[i], pts[i + 1])
+                if h1 is None or h2 is None:
+                    continue
+                delta = abs(h2 - h1)
+                if delta > 180.0:
+                    delta = 360.0 - delta
+                if delta >= threshold:
+                    found.append((pts[i].lon, pts[i].lat, pts[i].t, delta))
+            return (traj.data, found)
+
+        return rdd.map(turns)
+
+
+class TrajCompanionExtractor:
+    """Trajectory pairs with a simultaneous close encounter.
+
+    Two trajectories are companions when any pair of their points is
+    within ``spatial_meters`` and ``temporal_seconds``.  Like the event
+    companion extractor, comparisons are bucketed and local to the
+    partition — partition with ``duplicate=True`` for global correctness.
+    """
+
+    def __init__(self, spatial_meters: float, temporal_seconds: float):
+        if spatial_meters <= 0 or temporal_seconds <= 0:
+            raise ValueError("thresholds must be positive")
+        self.spatial_meters = spatial_meters
+        self.temporal_seconds = temporal_seconds
+
+    def _pairs_in(self, trajectories: list[Trajectory]) -> list[tuple]:
+        s_thr = self.spatial_meters
+        t_thr = self.temporal_seconds
+        if len(trajectories) < 2:
+            return []
+        lat_extreme = max(
+            abs(e.spatial.y) for traj in trajectories for e in traj.entries
+        )
+        deg_x = s_thr / max(1e-9, meters_per_degree_lon(min(lat_extreme, 89.0)))
+        deg_y = s_thr / METERS_PER_DEGREE_LAT
+        buckets: dict[tuple[int, int, int], set] = defaultdict(set)
+        by_id: dict = {}
+        for traj in trajectories:
+            by_id[traj.data] = traj
+            for p in traj.points():
+                cell = (
+                    int(math.floor(p.lon / deg_x)),
+                    int(math.floor(p.lat / deg_y)),
+                    int(math.floor(p.t / t_thr)),
+                )
+                buckets[cell].add(traj.data)
+        candidate_pairs: set[tuple] = set()
+        for (cx, cy, ct), ids in buckets.items():
+            nearby: set = set()
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for dt in (-1, 0, 1):
+                        nearby |= buckets.get((cx + dx, cy + dy, ct + dt), set())
+            for a in ids:
+                for b in nearby:
+                    if repr(a) < repr(b):
+                        candidate_pairs.add((a, b))
+        confirmed = []
+        for a_id, b_id in sorted(candidate_pairs, key=repr):
+            if self._encounter(by_id[a_id], by_id[b_id]):
+                confirmed.append((a_id, b_id))
+        return confirmed
+
+    def _encounter(self, a: Trajectory, b: Trajectory) -> bool:
+        for pa in a.points():
+            for pb in b.points():
+                if abs(pa.t - pb.t) > self.temporal_seconds:
+                    continue
+                if (
+                    haversine_distance(pa.lon, pa.lat, pb.lon, pb.lat)
+                    <= self.spatial_meters
+                ):
+                    return True
+        return False
+
+    def extract(self, rdd: RDD) -> RDD:
+        """Run this extraction on the RDD (see class docstring)."""
+        return rdd.map_partitions(self._pairs_in)

@@ -1,0 +1,44 @@
+"""Three-stage pipeline composition helper.
+
+Mirrors the end-to-end code shape of Section 3.4: a selector, an optional
+converter, and an extractor are defined up front, then executed as a
+pipeline.  Purely a convenience — each operator remains usable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.context import EngineContext
+
+
+class Pipeline:
+    """``selector → converter → extractor`` in one call.
+
+    Example::
+
+        pipeline = Pipeline(
+            selector=Selector(s_query, t_query, partitioner=TSTRPartitioner(4, 8)),
+            converter=Traj2RasterConverter(raster_structure),
+            extractor=RasterSpeedExtractor(unit="kmh"),
+        )
+        speeds = pipeline.run(ctx, data_dir)
+
+    ``converter`` and ``extractor`` are optional; a ``None`` converter
+    feeds the selected RDD straight to the extractor, a ``None`` extractor
+    returns the converted RDD.
+    """
+
+    def __init__(self, selector, converter=None, extractor=None):
+        self.selector = selector
+        self.converter = converter
+        self.extractor = extractor
+
+    def run(self, ctx: EngineContext, source, **select_kwargs) -> Any:
+        """Execute all configured stages and return the final output."""
+        data = self.selector.select(ctx, source, **select_kwargs)
+        if self.converter is not None:
+            data = self.converter.convert(data)
+        if self.extractor is not None:
+            return self.extractor.extract(data)
+        return data

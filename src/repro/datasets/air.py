@@ -1,0 +1,146 @@
+"""Air-quality-record generator + the paper's enlargement protocol.
+
+The real dataset: 2,891,393 hourly records from 437 stations in China
+(2014-05 to 2015-04); each record carries location, time, and six air
+quality indices.  The paper enlarges it by replicating stations 20× with
+σ = 500 m Gaussian noise and interpolating records down to a 5-minute
+interval; :func:`enlarge_air` follows that protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.datasets.common import BBox, EPOCH_2013, meters_to_degrees
+from repro.instances.event import Event
+
+AIR_BBOX = BBox(115.0, 29.0, 122.0, 41.0)
+
+#: 2014-05-01 00:00 UTC, the collection start.
+AIR_START = EPOCH_2013 + 485 * 86_400.0
+
+#: The six indices of the original feed.
+AQI_FIELDS = ("pm25", "pm10", "no2", "co", "o3", "so2")
+
+
+def _station_positions(n_stations: int, rng: random.Random) -> list[tuple[float, float]]:
+    return [
+        (
+            rng.uniform(AIR_BBOX.min_lon, AIR_BBOX.max_lon),
+            rng.uniform(AIR_BBOX.min_lat, AIR_BBOX.max_lat),
+        )
+        for _ in range(n_stations)
+    ]
+
+
+def _indices_at(station: int, t: float, rng: random.Random) -> dict[str, float]:
+    """Six AQI values with a daily cycle + station offset + noise."""
+    day_phase = math.sin(2.0 * math.pi * (t % 86_400.0) / 86_400.0)
+    base = 60.0 + 15.0 * day_phase + (station % 7) * 5.0
+    values = {}
+    for k, field in enumerate(AQI_FIELDS):
+        values[field] = max(0.0, base * (0.4 + 0.2 * k) + rng.gauss(0.0, 8.0))
+    return values
+
+
+def generate_air_records(
+    n_stations: int = 40,
+    hours: int = 72,
+    seed: int = 17,
+    interval_seconds: float = 3600.0,
+    start: float = AIR_START,
+) -> list[Event]:
+    """Station-periodic air-quality events: ``value`` is the AQI dict,
+    ``data`` the station id."""
+    if n_stations < 1 or hours < 1:
+        raise ValueError("need at least one station and one hour")
+    rng = random.Random(seed)
+    stations = _station_positions(n_stations, rng)
+    records = []
+    steps = int(hours * 3600.0 / interval_seconds)
+    for station_id, (lon, lat) in enumerate(stations):
+        for step in range(steps):
+            t = start + step * interval_seconds
+            records.append(
+                Event.of_point(
+                    lon,
+                    lat,
+                    t,
+                    value=_indices_at(station_id, t, rng),
+                    data=station_id,
+                )
+            )
+    return records
+
+
+def enlarge_air(
+    records: list[Event],
+    station_factor: int = 20,
+    target_interval_seconds: float = 300.0,
+    seed: int = 17,
+    sigma_meters: float = 500.0,
+) -> list[Event]:
+    """The paper's Air enlargement: replicate stations ``station_factor``×
+    with σ = 500 m positional noise, and linearly interpolate each
+    station's series down to ``target_interval_seconds``."""
+    if station_factor < 1:
+        raise ValueError("station factor must be at least 1")
+    rng = random.Random(seed)
+    by_station: dict = {}
+    for ev in records:
+        by_station.setdefault(ev.data, []).append(ev)
+    out: list[Event] = []
+    for station_id, series in by_station.items():
+        series.sort(key=lambda ev: ev.temporal.start)
+        for copy in range(station_factor):
+            if copy == 0:
+                d_lon = d_lat = 0.0
+            else:
+                unit_lon, unit_lat = meters_to_degrees(1.0, series[0].spatial.y)
+                d_lon = rng.gauss(0.0, sigma_meters) * unit_lon
+                d_lat = rng.gauss(0.0, sigma_meters) * unit_lat
+            new_id = (station_id, copy)
+            out.extend(_interpolated(series, d_lon, d_lat, target_interval_seconds, new_id))
+    return out
+
+
+def _interpolated(
+    series: list[Event],
+    d_lon: float,
+    d_lat: float,
+    interval: float,
+    station_id,
+) -> list[Event]:
+    """Resample one station's series to ``interval``, linear in each index."""
+    out = []
+    for a, b in zip(series, series[1:]):
+        t = a.temporal.start
+        t_end = b.temporal.start
+        while t < t_end:
+            frac = (t - a.temporal.start) / (t_end - a.temporal.start)
+            values = {
+                field: a.value[field] + frac * (b.value[field] - a.value[field])
+                for field in a.value
+            }
+            out.append(
+                Event.of_point(
+                    a.spatial.x + d_lon,
+                    a.spatial.y + d_lat,
+                    t,
+                    value=values,
+                    data=station_id,
+                )
+            )
+            t += interval
+    last = series[-1]
+    out.append(
+        Event.of_point(
+            last.spatial.x + d_lon,
+            last.spatial.y + d_lat,
+            last.temporal.start,
+            value=dict(last.value),
+            data=station_id,
+        )
+    )
+    return out

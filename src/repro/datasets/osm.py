@@ -1,0 +1,100 @@
+"""OSM-like POIs and postal-code areas.
+
+The real dataset: 147M points of interest with string attributes and 219k
+postal-code polygons, worldwide, no temporal information.  The generator
+produces POIs (point events at the epoch instant — mirroring how a dataset
+without time is represented) and irregular postal-area polygons built by
+jittering a grid (cells vary in size and shape, the irregular-structure
+case of Section 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.common import BBox, HotspotMixture
+from repro.geometry.polygon import Polygon
+from repro.instances.event import Event
+
+#: A country-scale box (continental Europe-ish) for the synthetic POIs.
+OSM_BBOX = BBox(2.0, 45.0, 12.0, 52.0)
+
+_POI_TYPES = (
+    "restaurant",
+    "cafe",
+    "school",
+    "hospital",
+    "shop",
+    "bank",
+    "park",
+    "fuel",
+)
+
+
+def generate_osm_pois(
+    n: int,
+    seed: int = 17,
+    bbox: BBox = OSM_BBOX,
+    n_hotspots: int = 12,
+) -> list[Event]:
+    """``n`` POI events: instant 0, ``value`` the attribute dict
+    (including ``type``), ``data`` the POI id."""
+    if n < 0:
+        raise ValueError("record count must be non-negative")
+    rng = random.Random(seed)
+    mixture = HotspotMixture(bbox, n_hotspots, rng, spread_fraction=0.03)
+    pois = []
+    for i in range(n):
+        lon, lat = mixture.sample(rng)
+        attrs = {
+            "type": _POI_TYPES[rng.randrange(len(_POI_TYPES))],
+            "name": f"poi-{i}",
+        }
+        pois.append(Event.of_point(lon, lat, 0.0, value=attrs, data=i))
+    return pois
+
+
+def generate_osm_areas(
+    nx: int,
+    ny: int,
+    seed: int = 17,
+    bbox: BBox = OSM_BBOX,
+    jitter_fraction: float = 0.3,
+) -> list[Polygon]:
+    """``nx * ny`` irregular postal-area polygons.
+
+    Built by jittering the interior junctions of a regular grid: the
+    resulting quadrilaterals still tile the box (no gaps — every POI falls
+    in some area) but have unequal sizes and non-rectangular shapes, so
+    conversions must use the R-tree path, as with real postal polygons.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be positive")
+    rng = random.Random(seed)
+    dx = bbox.width / nx
+    dy = bbox.height / ny
+    # Jittered junction lattice; border junctions stay fixed.
+    junctions = {}
+    for j in range(ny + 1):
+        for i in range(nx + 1):
+            x = bbox.min_lon + i * dx
+            y = bbox.min_lat + j * dy
+            if 0 < i < nx:
+                x += rng.uniform(-jitter_fraction, jitter_fraction) * dx
+            if 0 < j < ny:
+                y += rng.uniform(-jitter_fraction, jitter_fraction) * dy
+            junctions[(i, j)] = (x, y)
+    areas = []
+    for j in range(ny):
+        for i in range(nx):
+            areas.append(
+                Polygon(
+                    [
+                        junctions[(i, j)],
+                        junctions[(i + 1, j)],
+                        junctions[(i + 1, j + 1)],
+                        junctions[(i, j + 1)],
+                    ]
+                )
+            )
+    return areas

@@ -1,0 +1,53 @@
+"""Accumulators — write-only shared counters for tasks.
+
+The Spark analog: tasks add to an accumulator, only the driver reads the
+total.  Used by application code to count records processed, filtered, or
+skipped without an extra action over the data.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A thread-safe fold cell: ``add`` from tasks, ``value`` on the driver.
+
+    ``combine`` must be associative and commutative (same contract Spark
+    imposes); the default is numeric addition.
+    """
+
+    def __init__(self, zero: T, combine: Callable[[T, T], T] | None = None, name: str = ""):
+        self._value = zero
+        self._zero = zero
+        self._combine = combine or (lambda a, b: a + b)  # type: ignore[operator]
+        self._lock = Lock()
+        self.name = name
+
+    def add(self, increment: T) -> None:
+        """Fold an increment into the accumulator (thread-safe)."""
+        with self._lock:
+            self._value = self._combine(self._value, increment)
+
+    @property
+    def value(self) -> T:
+        """Current accumulated value."""
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        with self._lock:
+            self._value = self._zero
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Accumulator{label}(value={self.value!r})"
+
+
+def counter(name: str = "") -> Accumulator[int]:
+    """The common case: an integer counter starting at zero."""
+    return Accumulator(0, name=name)

@@ -1,0 +1,44 @@
+"""Broadcast variables.
+
+In Spark a broadcast ships one read-only copy of a value to every executor.
+Our engine runs in one process, so the broadcast is a thin handle — but it
+still *meters* the cost: the context records how many broadcasts happened
+and how many records each carried, which is what the converter ablation
+(broadcast-the-structure vs shuffle-the-data, Section 3.2.2) compares.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value shared by every task."""
+
+    __slots__ = ("_value", "_destroyed", "id")
+
+    _next_id = 0
+
+    def __init__(self, value: T):
+        self._value = value
+        self._destroyed = False
+        self.id = Broadcast._next_id
+        Broadcast._next_id += 1
+
+    @property
+    def value(self) -> T:
+        """The broadcast value; raises after destroy()."""
+        if self._destroyed:
+            raise ValueError(f"broadcast {self.id} was destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the value; further access raises, as in Spark."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else "live"
+        return f"Broadcast(id={self.id}, {state})"

@@ -1,0 +1,198 @@
+"""The engine context — ``SparkContext`` analog."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.engine.broadcast import Broadcast
+from repro.engine.errors import TaskFailure
+from repro.engine.metrics import JobMetrics, TaskMetrics
+
+T = TypeVar("T")
+
+
+class EngineContext:
+    """Owns RDD creation, the executor pool, broadcasts, and metrics.
+
+    Parameters
+    ----------
+    default_parallelism:
+        Partition count used when a transformation does not specify one —
+        the analog of ``spark.default.parallelism``.
+    parallel:
+        When true, independent tasks of a stage run on a thread pool of
+        ``default_parallelism`` workers.  The default is sequential
+        execution, which keeps benchmark timings deterministic; the engine's
+        counted-work metrics are identical either way.
+    max_task_retries:
+        How many times a failing task is retried before the job aborts
+        (``spark.task.maxFailures``).
+    """
+
+    def __init__(
+        self,
+        default_parallelism: int = 8,
+        parallel: bool = False,
+        max_task_retries: int = 3,
+    ):
+        if default_parallelism < 1:
+            raise ValueError("default_parallelism must be positive")
+        if max_task_retries < 1:
+            raise ValueError("max_task_retries must be positive")
+        self.default_parallelism = default_parallelism
+        self.parallel = parallel
+        self.max_task_retries = max_task_retries
+        self.metrics = JobMetrics()
+        self._pool: ThreadPoolExecutor | None = None
+        self._metrics_lock = Lock()
+        self._in_task = threading.local()
+        #: Test hook: callable ``(partition, attempt) -> None`` invoked before
+        #: each task attempt; raising simulates an executor fault.
+        self.task_failure_injector: Callable[[int, int], None] | None = None
+
+    # -- RDD creation -----------------------------------------------------------
+
+    def parallelize(self, data: Iterable[T], num_partitions: int | None = None):
+        """Distribute a local collection into an RDD."""
+        from repro.engine.rdd import RDD
+
+        items = list(data)
+        n = num_partitions or self.default_parallelism
+        n = max(1, min(n, max(1, len(items)))) if items else max(1, n)
+        return RDD._from_collection(self, items, n)
+
+    def from_partitions(self, partitions: Sequence[list]):
+        """Build an RDD with an explicit pre-partitioned layout.
+
+        Used by the on-disk reader, where the partition layout on disk *is*
+        the layout in memory (the point of Section 4.1).
+        """
+        from repro.engine.rdd import RDD
+
+        return RDD._from_partitions(self, [list(p) for p in partitions])
+
+    def empty_rdd(self):
+        """A single empty partition."""
+        from repro.engine.rdd import RDD
+
+        return RDD._from_partitions(self, [[]])
+
+    def union(self, rdds: Sequence):
+        """Union a sequence of RDDs pairwise."""
+        if not rdds:
+            raise ValueError("cannot union zero RDDs")
+        result = rdds[0]
+        for rdd in rdds[1:]:
+            result = result.union(rdd)
+        return result
+
+    # -- broadcast ----------------------------------------------------------------
+
+    def broadcast(self, value: T, record_count: int | None = None) -> Broadcast[T]:
+        """Share a read-only value with all tasks and meter its size.
+
+        ``record_count`` is the number of logical records the value carries
+        (e.g. structure cells); when omitted, ``len(value)`` is used if the
+        value is sized, else 1.
+        """
+        if record_count is None:
+            try:
+                record_count = len(value)  # type: ignore[arg-type]
+            except TypeError:
+                record_count = 1
+        with self._metrics_lock:
+            self.metrics.broadcast_count += 1
+            self.metrics.broadcast_records += record_count
+        return Broadcast(value)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run_stage(
+        self,
+        num_partitions: int,
+        task: Callable[[int], list],
+    ) -> list[list]:
+        """Execute ``task`` for every partition index and gather outputs.
+
+        Each task is retried on failure up to ``max_task_retries`` times.
+        Metrics (records out, elapsed, attempts) are recorded per task.
+        """
+        with self._metrics_lock:
+            self.metrics.stages += 1
+
+        def run_one(partition: int) -> list:
+            last_error: BaseException | None = None
+            for attempt in range(1, self.max_task_retries + 1):
+                start = time.perf_counter()
+                try:
+                    if self.task_failure_injector is not None:
+                        self.task_failure_injector(partition, attempt)
+                    result = task(partition)
+                except Exception as exc:  # noqa: BLE001 - retry any task error
+                    last_error = exc
+                    continue
+                elapsed = time.perf_counter() - start
+                with self._metrics_lock:
+                    self.metrics.record_task(
+                        TaskMetrics(
+                            partition=partition,
+                            records_out=len(result),
+                            elapsed_seconds=elapsed,
+                            attempts=attempt,
+                        )
+                    )
+                return result
+            raise TaskFailure(partition, self.max_task_retries, last_error)
+
+        # Nested stages (a shuffle's map side evaluated from inside a pool
+        # worker) must not be submitted back to the same pool: the outer
+        # tasks occupy every worker while blocking on the shuffle lock, so
+        # the inner futures would never be scheduled — a deadlock.  Run
+        # nested stages inline on the calling worker instead.
+        nested = getattr(self._in_task, "active", False)
+        if self.parallel and num_partitions > 1 and not nested:
+            pool = self._ensure_pool()
+
+            def run_in_worker(partition: int) -> list:
+                self._in_task.active = True
+                try:
+                    return run_one(partition)
+                finally:
+                    self._in_task.active = False
+
+            futures = [pool.submit(run_in_worker, i) for i in range(num_partitions)]
+            return [f.result() for f in futures]
+        return [run_one(i) for i in range(num_partitions)]
+
+    def record_shuffle(self, records: int) -> None:
+        """Meter one shuffle's record volume."""
+        with self._metrics_lock:
+            self.metrics.shuffle_records += records
+            self.metrics.shuffle_count += 1
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.default_parallelism)
+        return self._pool
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Shut the executor pool down."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        mode = "parallel" if self.parallel else "sequential"
+        return f"EngineContext(parallelism={self.default_parallelism}, {mode})"

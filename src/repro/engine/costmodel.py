@@ -1,0 +1,117 @@
+"""Analytic cluster cost model over counted work.
+
+The engine counts the quantities that dominate distributed runtime —
+records scanned per task, records shuffled, records broadcast, partitions
+read from disk.  This module turns those counters into an *estimated*
+cluster execution time under an explicit, simple model:
+
+* per-task compute scales with records processed, divided across
+  ``n_workers`` with the observed per-partition balance (a straggling
+  partition gates its stage — which is why the paper cares about CV);
+* every shuffled record pays a network cost;
+* every broadcast record pays a network cost once per worker;
+* every partition read pays an I/O latency plus per-record deserialize.
+
+The model is deliberately transparent rather than calibrated: its value
+is *comparative* (plan A vs plan B under identical constants), mirroring
+how the paper's conclusions depend on relative, not absolute, numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.metrics import JobMetrics
+from repro.stio.dataset import LoadStats
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Cost constants for a hypothetical cluster.
+
+    Defaults sketch a small commodity cluster (the paper's testbed class):
+    5 µs/record compute, 2 µs/record network per shuffle hop, 10 ms
+    per-partition I/O latency + 1 µs/record deserialize.
+    """
+
+    n_workers: int = 8
+    seconds_per_record_compute: float = 5e-6
+    seconds_per_record_shuffle: float = 2e-6
+    seconds_per_record_broadcast: float = 2e-6
+    seconds_per_partition_io: float = 10e-3
+    seconds_per_record_io: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated stage-level costs in seconds."""
+
+    compute_seconds: float
+    shuffle_seconds: float
+    broadcast_seconds: float
+    io_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all cost components."""
+        return (
+            self.compute_seconds
+            + self.shuffle_seconds
+            + self.broadcast_seconds
+            + self.io_seconds
+        )
+
+    def breakdown(self) -> dict:
+        """Components as a plain dict, including the total."""
+        return {
+            "compute": self.compute_seconds,
+            "shuffle": self.shuffle_seconds,
+            "broadcast": self.broadcast_seconds,
+            "io": self.io_seconds,
+            "total": self.total_seconds,
+        }
+
+
+def estimate_cost(
+    metrics: JobMetrics,
+    profile: ClusterProfile | None = None,
+    load_stats: LoadStats | None = None,
+) -> CostEstimate:
+    """Estimate cluster time for the work recorded in ``metrics``.
+
+    Compute time models stage gating by stragglers: records are spread
+    over workers, but a stage can finish no faster than its largest task,
+    so the effective divisor interpolates between perfect parallelism and
+    the observed worst-task share.
+    """
+    profile = profile or ClusterProfile()
+    total_records = sum(t.records_out for t in metrics.tasks)
+    if metrics.tasks:
+        max_task = max(t.records_out for t in metrics.tasks)
+        # Perfectly balanced: max_task == total/n_tasks; fully skewed:
+        # max_task == total.  The gating share is what one wave of
+        # n_workers tasks must wait for.
+        ideal = total_records / profile.n_workers
+        gating = max(ideal, max_task)
+    else:
+        gating = 0.0
+    compute = gating * profile.seconds_per_record_compute
+    shuffle = metrics.shuffle_records * profile.seconds_per_record_shuffle
+    broadcast = (
+        metrics.broadcast_records
+        * profile.n_workers
+        * profile.seconds_per_record_broadcast
+    )
+    io = 0.0
+    if load_stats is not None:
+        # Partition reads parallelize across workers; records pay deserialize.
+        waves = -(-load_stats.partitions_read // profile.n_workers)
+        io = (
+            waves * profile.seconds_per_partition_io
+            + load_stats.records_loaded * profile.seconds_per_record_io / profile.n_workers
+        )
+    return CostEstimate(compute, shuffle, broadcast, io)

@@ -1,0 +1,23 @@
+"""Engine exception hierarchy."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all engine failures."""
+
+
+class TaskFailure(EngineError):
+    """A task raised; carries the partition index for diagnostics.
+
+    The executor retries a failed task up to ``EngineContext.max_task_retries``
+    times (Spark's ``spark.task.maxFailures`` analog) before surfacing this.
+    """
+
+    def __init__(self, partition: int, attempts: int, cause: BaseException):
+        super().__init__(
+            f"task for partition {partition} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.partition = partition
+        self.attempts = attempts
+        self.cause = cause

@@ -1,0 +1,113 @@
+"""Task- and job-level metrics.
+
+Wall-clock on a laptop does not transfer to a 5-node cluster, but counted
+work does: number of records scanned, shuffled, and emitted, and the
+balance of records across partitions.  Every benchmark in this repo reports
+these counters alongside elapsed time, so the paper's comparisons can be
+checked in both currencies.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Metrics for one task (= one partition of one stage)."""
+
+    partition: int
+    records_out: int = 0
+    elapsed_seconds: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated counters for everything run under one context.
+
+    ``shuffle_records`` counts records crossing a stage boundary (the
+    engine's analog of shuffle write volume); ``broadcast_count`` and
+    ``broadcast_records`` meter the structure-broadcast strategy of the
+    converters.
+    """
+
+    tasks: list[TaskMetrics] = field(default_factory=list)
+    shuffle_records: int = 0
+    shuffle_count: int = 0
+    broadcast_count: int = 0
+    broadcast_records: int = 0
+    stages: int = 0
+
+    def record_task(self, task: TaskMetrics) -> None:
+        """Append one finished task's metrics."""
+        self.tasks.append(task)
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks recorded."""
+        return len(self.tasks)
+
+    @property
+    def records_out(self) -> int:
+        """Total records emitted across tasks."""
+        return sum(t.records_out for t in self.tasks)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Summed task wall-clock (not critical path)."""
+        return sum(t.elapsed_seconds for t in self.tasks)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.tasks.clear()
+        self.shuffle_records = 0
+        self.shuffle_count = 0
+        self.broadcast_count = 0
+        self.broadcast_records = 0
+        self.stages = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary convenient for benchmark reports."""
+        return {
+            "tasks": self.task_count,
+            "stages": self.stages,
+            "records_out": self.records_out,
+            "shuffle_records": self.shuffle_records,
+            "shuffles": self.shuffle_count,
+            "broadcasts": self.broadcast_count,
+            "broadcast_records": self.broadcast_records,
+        }
+
+
+def coefficient_of_variation(sizes: list[int]) -> float:
+    """CV = stddev / mean of partition sizes (Table 5's balance metric).
+
+    Degenerate inputs: zero partitions or an all-empty layout give 0.0 —
+    a perfectly "balanced" nothing — rather than raising, because
+    benchmark sweeps legitimately hit empty selections.
+    """
+    if not sizes:
+        return 0.0
+    mean = statistics.fmean(sizes)
+    if mean == 0:
+        return 0.0
+    if len(sizes) == 1:
+        return 0.0
+    return statistics.pstdev(sizes) / mean
+
+
+def balance_summary(sizes: list[int]) -> dict:
+    """Richer load-balance digest used by partitioner benchmarks."""
+    if not sizes:
+        return {"partitions": 0, "cv": 0.0, "min": 0, "max": 0, "mean": 0.0}
+    return {
+        "partitions": len(sizes),
+        "cv": coefficient_of_variation(sizes),
+        "min": min(sizes),
+        "max": max(sizes),
+        "mean": statistics.fmean(sizes),
+        "skew": (max(sizes) / statistics.fmean(sizes)) if statistics.fmean(sizes) else math.nan,
+    }

@@ -1,0 +1,28 @@
+"""Shuffle helpers: stable hashing and bucket construction."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def stable_hash(key: Any) -> int:
+    """A process-independent hash for shuffle bucketing.
+
+    Python's built-in ``hash`` is salted per process for strings, which
+    would make partition layouts differ between runs and make tests (and
+    the Table 5 load-balance numbers) non-reproducible.  We hash the repr
+    through blake2b instead; all shuffle keys in this codebase (ints,
+    strings, floats, tuples of those) have stable reprs.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0x7FFFFFFFFFFFFFFF
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def hash_partition(key: Any, num_partitions: int) -> int:
+    """Map a key to a bucket index."""
+    return stable_hash(key) % num_partitions

@@ -1,0 +1,43 @@
+"""2-d computational geometry substrate.
+
+ST4ML (the Scala original) builds on the JTS topology suite for its spatial
+types and predicates.  This package is the pure-Python stand-in: it provides
+the small slice of computational geometry the paper actually exercises —
+points, polylines, polygons, minimum bounding rectangles (envelopes), the
+``intersects`` / ``contains`` / ``distance`` predicates, and both planar and
+great-circle metrics.
+
+All geometries are immutable value objects so they can be hashed, shuffled
+between engine partitions, and pickled to the on-disk store without
+defensive copying.
+"""
+
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+from repro.geometry.linestring import LineString
+from repro.geometry.polygon import Polygon
+from repro.geometry.distance import (
+    euclidean_distance,
+    haversine_distance,
+    point_segment_distance,
+    project_point_to_segment,
+    EARTH_RADIUS_METERS,
+    METERS_PER_DEGREE_LAT,
+    meters_per_degree_lon,
+)
+
+__all__ = [
+    "Geometry",
+    "Envelope",
+    "Point",
+    "LineString",
+    "Polygon",
+    "euclidean_distance",
+    "haversine_distance",
+    "point_segment_distance",
+    "project_point_to_segment",
+    "EARTH_RADIUS_METERS",
+    "METERS_PER_DEGREE_LAT",
+    "meters_per_degree_lon",
+]

@@ -1,0 +1,54 @@
+"""Abstract base class shared by every geometry type."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.geometry.envelope import Envelope
+    from repro.geometry.point import Point
+
+
+class Geometry(ABC):
+    """Base class for all 2-d geometries.
+
+    A geometry exposes exactly the operations the ST4ML pipeline needs:
+
+    * ``envelope`` — the minimum bounding rectangle, used by every index
+      (R-tree, quadtree, grid) and by the regular-structure conversion
+      shortcut of the paper's Section 4.2;
+    * ``intersects`` — the predicate driving selection and conversion;
+    * ``distance_to`` — planar distance, used by extractors (stay points,
+      companions) and by HMM map matching;
+    * ``centroid`` — the representative coordinate used for STR sorting.
+    """
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def envelope(self) -> "Envelope":
+        """Return the minimum bounding rectangle of this geometry."""
+
+    @abstractmethod
+    def intersects(self, other: "Geometry") -> bool:
+        """Return ``True`` if this geometry shares any point with ``other``."""
+
+    @abstractmethod
+    def distance_to(self, other: "Geometry") -> float:
+        """Return the minimum planar distance between the two geometries."""
+
+    @abstractmethod
+    def centroid(self) -> "Point":
+        """Return a representative interior/central point."""
+
+    @property
+    def is_point(self) -> bool:
+        """``True`` when the geometry's MBR equals the geometry itself.
+
+        The paper's regular-structure conversion (Section 4.2) skips the
+        exact intersection pass for such shapes; points and envelopes
+        qualify.
+        """
+        return False

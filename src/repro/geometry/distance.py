@@ -1,0 +1,123 @@
+"""Distance metrics and projections.
+
+The paper's extractors mix two metric spaces: the planar space of whatever
+coordinate system the data is in (used for index pruning and regular-grid
+arithmetic) and great-circle meters (used for physical thresholds such as
+"stay within 200 m for 10 min" and average speeds in km/h).  This module
+holds both, plus the point-to-segment machinery needed by HMM map matching.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Mean Earth radius in meters (IUGG value), used by the haversine formula.
+EARTH_RADIUS_METERS = 6_371_008.8
+
+#: Meters spanned by one degree of latitude, constant to first order.
+METERS_PER_DEGREE_LAT = EARTH_RADIUS_METERS * math.pi / 180.0
+
+
+def meters_per_degree_lon(lat: float) -> float:
+    """Meters spanned by one degree of longitude at the given latitude."""
+    return METERS_PER_DEGREE_LAT * math.cos(math.radians(lat))
+
+
+def euclidean_distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Planar distance between two coordinate pairs."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def haversine_distance(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in meters between two (lon, lat) pairs."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    d_phi = phi2 - phi1
+    d_lambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(d_phi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(d_lambda / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_METERS * math.asin(min(1.0, math.sqrt(a)))
+
+
+def project_point_to_segment(
+    px: float,
+    py: float,
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+) -> tuple[float, float, float]:
+    """Project point P onto segment AB.
+
+    Returns ``(qx, qy, t)`` where Q is the closest point on the segment and
+    ``t`` in ``[0, 1]`` is the normalized position of Q along AB.  Degenerate
+    (zero-length) segments project onto A with ``t == 0``.
+    """
+    dx = bx - ax
+    dy = by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return (ax, ay, 0.0)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    return (ax + t * dx, ay + t * dy, t)
+
+
+def point_segment_distance(
+    px: float,
+    py: float,
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+) -> float:
+    """Planar distance from point P to segment AB."""
+    qx, qy, _ = project_point_to_segment(px, py, ax, ay, bx, by)
+    return math.hypot(px - qx, py - qy)
+
+
+def segments_intersect(
+    p1: tuple[float, float],
+    p2: tuple[float, float],
+    p3: tuple[float, float],
+    p4: tuple[float, float],
+) -> bool:
+    """Return True when segments p1p2 and p3p4 share at least one point.
+
+    Uses the orientation test with collinear special-casing, which is exact
+    for the rational inputs produced by our synthetic generators and robust
+    enough for the float inputs of the public datasets.
+    """
+
+    def orient(a: tuple[float, float], b: tuple[float, float], c: tuple[float, float]) -> int:
+        val = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+        if val > 0:
+            return 1
+        if val < 0:
+            return -1
+        return 0
+
+    def on_segment(a: tuple[float, float], b: tuple[float, float], c: tuple[float, float]) -> bool:
+        return (
+            min(a[0], b[0]) <= c[0] <= max(a[0], b[0])
+            and min(a[1], b[1]) <= c[1] <= max(a[1], b[1])
+        )
+
+    o1 = orient(p1, p2, p3)
+    o2 = orient(p1, p2, p4)
+    o3 = orient(p3, p4, p1)
+    o4 = orient(p3, p4, p2)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(p1, p2, p3):
+        return True
+    if o2 == 0 and on_segment(p1, p2, p4):
+        return True
+    if o3 == 0 and on_segment(p3, p4, p1):
+        return True
+    if o4 == 0 and on_segment(p3, p4, p2):
+        return True
+    return False

@@ -1,0 +1,237 @@
+"""Axis-aligned minimum bounding rectangles (MBRs)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.geometry.base import Geometry
+
+
+class Envelope(Geometry):
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Envelopes are the workhorse of the whole system: R-tree nodes, partition
+    boundaries, raster cells, and query ranges are all envelopes.  They are
+    closed on every side, matching the paper's treatment of partition
+    boundaries (a record on a shared boundary overlaps both partitions and
+    is duplicated only when the partitioner is run with ``duplicate=True``).
+    """
+
+    __slots__ = ("min_x", "min_y", "max_x", "max_y")
+
+    def __init__(self, min_x: float, min_y: float, max_x: float, max_y: float):
+        if math.isnan(min_x) or math.isnan(min_y) or math.isnan(max_x) or math.isnan(max_y):
+            raise ValueError("envelope coordinates must not be NaN")
+        if min_x > max_x or min_y > max_y:
+            raise ValueError(
+                f"invalid envelope: ({min_x}, {min_y}, {max_x}, {max_y}); "
+                "min must not exceed max"
+            )
+        object.__setattr__(self, "min_x", float(min_x))
+        object.__setattr__(self, "min_y", float(min_y))
+        object.__setattr__(self, "max_x", float(max_x))
+        object.__setattr__(self, "max_y", float(max_y))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Envelope is immutable")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of_points(cls, coords: Iterable[tuple[float, float]]) -> "Envelope":
+        """Build the tightest envelope covering an iterable of xy pairs."""
+        iterator = iter(coords)
+        try:
+            x0, y0 = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot build an envelope from zero points") from None
+        min_x = max_x = x0
+        min_y = max_y = y0
+        for x, y in iterator:
+            min_x = min(min_x, x)
+            max_x = max(max_x, x)
+            min_y = min(min_y, y)
+            max_y = max(max_y, y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def merge_all(cls, envelopes: Iterable["Envelope"]) -> "Envelope":
+        """Return the union MBR of a non-empty iterable of envelopes."""
+        iterator = iter(envelopes)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot merge zero envelopes") from None
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for env in iterator:
+            min_x = min(min_x, env.min_x)
+            min_y = min(min_y, env.min_y)
+            max_x = max(max_x, env.max_x)
+            max_y = max(max_y, env.max_y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    # -- core geometry protocol ----------------------------------------------
+
+    @property
+    def envelope(self) -> "Envelope":
+        """The minimum bounding rectangle."""
+        return self
+
+    @property
+    def is_point(self) -> bool:
+        """An envelope is its own MBR, so the exact pass is never needed."""
+        return True
+
+    def centroid(self):
+        """A representative central point."""
+        from repro.geometry.point import Point
+
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def intersects(self, other: Geometry) -> bool:
+        """True when the two geometries share any point."""
+        if isinstance(other, Envelope):
+            return self.intersects_envelope(other)
+        return other.intersects(self)
+
+    def intersects_envelope(self, other: "Envelope") -> bool:
+        """Fast rectangle/rectangle overlap test (boundaries included)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when (x, y) lies inside or on the boundary."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_envelope(self, other: "Envelope") -> bool:
+        """True when the other rectangle lies fully inside."""
+        return (
+            self.min_x <= other.min_x
+            and self.max_x >= other.max_x
+            and self.min_y <= other.min_y
+            and self.max_y >= other.max_y
+        )
+
+    def distance_to(self, other: Geometry) -> float:
+        """Minimum planar distance to the other geometry."""
+        if isinstance(other, Envelope):
+            dx = max(other.min_x - self.max_x, self.min_x - other.max_x, 0.0)
+            dy = max(other.min_y - self.max_y, self.min_y - other.max_y, 0.0)
+            return math.hypot(dx, dy)
+        return other.distance_to(self)
+
+    # -- measurement and manipulation ------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Enclosed area."""
+        return self.width * self.height
+
+    def merge(self, other: "Envelope") -> "Envelope":
+        """Return the smallest envelope covering both operands."""
+        return Envelope(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "Envelope") -> "Envelope | None":
+        """Return the overlap region, or ``None`` when the MBRs are disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return Envelope(min_x, min_y, max_x, max_y)
+
+    def expanded(self, margin: float) -> "Envelope":
+        """Return a copy grown by ``margin`` on every side."""
+        return Envelope(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def split(self, nx: int, ny: int) -> list["Envelope"]:
+        """Tile this envelope into an ``nx * ny`` regular grid of cells.
+
+        Cells are emitted row-major (y-outer, x-inner) so that regular
+        structures built from the result have a predictable cell order,
+        which the regular-structure conversion shortcut relies on.
+        """
+        if nx <= 0 or ny <= 0:
+            raise ValueError("grid dimensions must be positive")
+        dx = self.width / nx
+        dy = self.height / ny
+        cells = []
+        for j in range(ny):
+            for i in range(nx):
+                cells.append(
+                    Envelope(
+                        self.min_x + i * dx,
+                        self.min_y + j * dy,
+                        self.min_x + (i + 1) * dx,
+                        self.min_y + (j + 1) * dy,
+                    )
+                )
+        return cells
+
+    def corners(self) -> Iterator[tuple[float, float]]:
+        """The four corners, counter-clockwise from the minimum."""
+        yield (self.min_x, self.min_y)
+        yield (self.max_x, self.min_y)
+        yield (self.max_x, self.max_y)
+        yield (self.min_x, self.max_y)
+
+    def to_polygon(self):
+        """The rectangle as a 4-vertex Polygon."""
+        from repro.geometry.polygon import Polygon
+
+        return Polygon(list(self.corners()))
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        return (
+            self.min_x == other.min_x
+            and self.min_y == other.min_y
+            and self.max_x == other.max_x
+            and self.max_y == other.max_y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.min_x, self.min_y, self.max_x, self.max_y))
+
+    def __repr__(self) -> str:
+        return f"Envelope({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+
+    def __getstate__(self):
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+    def __setstate__(self, state):
+        min_x, min_y, max_x, max_y = state
+        object.__setattr__(self, "min_x", min_x)
+        object.__setattr__(self, "min_y", min_y)
+        object.__setattr__(self, "max_x", max_x)
+        object.__setattr__(self, "max_y", max_y)

@@ -1,0 +1,136 @@
+"""Polyline geometry."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+from repro.geometry.base import Geometry
+from repro.geometry.distance import point_segment_distance, segments_intersect
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+
+
+class LineString(Geometry):
+    """An open polyline defined by two or more vertices.
+
+    The paper uses linestrings for road segments (spatial-map cells of the
+    road-network raster) and for the database representation of raw
+    trajectories.
+    """
+
+    __slots__ = ("coords",)
+
+    def __init__(self, coords: Sequence[tuple[float, float]]):
+        pts = tuple((float(x), float(y)) for x, y in coords)
+        if len(pts) < 2:
+            raise ValueError("a linestring needs at least two vertices")
+        object.__setattr__(self, "coords", pts)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LineString is immutable")
+
+    @property
+    def envelope(self) -> Envelope:
+        """The minimum bounding rectangle."""
+        return Envelope.of_points(self.coords)
+
+    def centroid(self) -> Point:
+        """Length-weighted midpoint of the polyline."""
+        total = self.length
+        if total == 0.0:
+            x, y = self.coords[0]
+            return Point(x, y)
+        half = total / 2.0
+        walked = 0.0
+        for (x1, y1), (x2, y2) in self.segments():
+            seg = math.hypot(x2 - x1, y2 - y1)
+            if walked + seg >= half and seg > 0.0:
+                t = (half - walked) / seg
+                return Point(x1 + t * (x2 - x1), y1 + t * (y2 - y1))
+            walked += seg
+        x, y = self.coords[-1]
+        return Point(x, y)
+
+    @property
+    def length(self) -> float:
+        """Planar length of the polyline."""
+        return sum(
+            math.hypot(x2 - x1, y2 - y1) for (x1, y1), (x2, y2) in self.segments()
+        )
+
+    def segments(self) -> Iterator[tuple[tuple[float, float], tuple[float, float]]]:
+        """Consecutive vertex pairs."""
+        for i in range(len(self.coords) - 1):
+            yield (self.coords[i], self.coords[i + 1])
+
+    def intersects(self, other: Geometry) -> bool:
+        """True when the two geometries share any point."""
+        from repro.geometry.polygon import Polygon
+
+        if isinstance(other, Point):
+            return self.distance_to(other) == 0.0
+        if isinstance(other, Envelope):
+            if not self.envelope.intersects_envelope(other):
+                return False
+            # Any vertex inside the envelope, or any segment crossing an edge.
+            for x, y in self.coords:
+                if other.contains_point(x, y):
+                    return True
+            corners = list(other.corners())
+            edges = [(corners[i], corners[(i + 1) % 4]) for i in range(4)]
+            for seg in self.segments():
+                for edge in edges:
+                    if segments_intersect(seg[0], seg[1], edge[0], edge[1]):
+                        return True
+            return False
+        if isinstance(other, LineString):
+            if not self.envelope.intersects_envelope(other.envelope):
+                return False
+            for seg_a in self.segments():
+                for seg_b in other.segments():
+                    if segments_intersect(seg_a[0], seg_a[1], seg_b[0], seg_b[1]):
+                        return True
+            return False
+        if isinstance(other, Polygon):
+            return other.intersects(self)
+        raise TypeError(f"unsupported geometry type: {type(other).__name__}")
+
+    def distance_to(self, other: Geometry) -> float:
+        """Minimum planar distance to the other geometry."""
+        if isinstance(other, Point):
+            return min(
+                point_segment_distance(other.x, other.y, x1, y1, x2, y2)
+                for (x1, y1), (x2, y2) in self.segments()
+            )
+        if isinstance(other, LineString):
+            if self.intersects(other):
+                return 0.0
+            best = math.inf
+            for x, y in self.coords:
+                best = min(best, other.distance_to(Point(x, y)))
+            for x, y in other.coords:
+                best = min(best, self.distance_to(Point(x, y)))
+            return best
+        if isinstance(other, Envelope):
+            if self.intersects(other):
+                return 0.0
+            return min(Point(x, y).distance_to(other) for x, y in self.coords)
+        return other.distance_to(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineString):
+            return NotImplemented
+        return self.coords == other.coords
+
+    def __hash__(self) -> int:
+        return hash(self.coords)
+
+    def __repr__(self) -> str:
+        return f"LineString({len(self.coords)} vertices)"
+
+    def __getstate__(self):
+        return self.coords
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "coords", state)

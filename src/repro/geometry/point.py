@@ -1,0 +1,82 @@
+"""Point geometry."""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+
+
+class Point(Geometry):
+    """A 2-d point.
+
+    Coordinates are interpreted by convention as ``(x=lon, y=lat)`` for the
+    geographic datasets but the geometry layer itself is unit-agnostic;
+    haversine helpers live in :mod:`repro.geometry.distance`.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float):
+        if math.isnan(x) or math.isnan(y):
+            raise ValueError("point coordinates must not be NaN")
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    @property
+    def envelope(self) -> Envelope:
+        """The minimum bounding rectangle."""
+        return Envelope(self.x, self.y, self.x, self.y)
+
+    @property
+    def is_point(self) -> bool:
+        """True when the MBR equals the geometry itself."""
+        return True
+
+    def centroid(self) -> "Point":
+        """A representative central point."""
+        return self
+
+    def intersects(self, other: Geometry) -> bool:
+        """True when the two geometries share any point."""
+        if isinstance(other, Point):
+            return self.x == other.x and self.y == other.y
+        if isinstance(other, Envelope):
+            return other.contains_point(self.x, self.y)
+        return other.intersects(self)
+
+    def distance_to(self, other: Geometry) -> float:
+        """Minimum planar distance to the other geometry."""
+        if isinstance(other, Point):
+            return math.hypot(self.x - other.x, self.y - other.y)
+        if isinstance(other, Envelope):
+            dx = max(other.min_x - self.x, self.x - other.max_x, 0.0)
+            dy = max(other.min_y - self.y, self.y - other.max_y, 0.0)
+            return math.hypot(dx, dy)
+        return other.distance_to(self)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The (x, y) coordinate pair."""
+        return (self.x, self.y)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"Point({self.x}, {self.y})"
+
+    def __getstate__(self):
+        return (self.x, self.y)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "x", state[0])
+        object.__setattr__(self, "y", state[1])

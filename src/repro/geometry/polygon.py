@@ -1,0 +1,177 @@
+"""Simple polygon geometry."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.geometry.base import Geometry
+from repro.geometry.distance import point_segment_distance, segments_intersect
+from repro.geometry.envelope import Envelope
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+
+
+class Polygon(Geometry):
+    """A simple (non-self-intersecting, hole-free) polygon.
+
+    The paper uses polygons for districts, postal-code areas, and raster
+    cells.  The exterior ring is stored without a closing duplicate vertex;
+    ``__init__`` normalizes inputs that repeat the first vertex at the end.
+    """
+
+    __slots__ = ("ring",)
+
+    def __init__(self, ring: Sequence[tuple[float, float]]):
+        pts = [(float(x), float(y)) for x, y in ring]
+        if len(pts) >= 2 and pts[0] == pts[-1]:
+            pts = pts[:-1]
+        if len(pts) < 3:
+            raise ValueError("a polygon needs at least three distinct vertices")
+        object.__setattr__(self, "ring", tuple(pts))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Polygon is immutable")
+
+    @classmethod
+    def from_envelope(cls, env: Envelope) -> "Polygon":
+        """Polygon from a rectangle's corners."""
+        return cls(list(env.corners()))
+
+    @property
+    def envelope(self) -> Envelope:
+        """The minimum bounding rectangle."""
+        return Envelope.of_points(self.ring)
+
+    def edges(self) -> Iterator[tuple[tuple[float, float], tuple[float, float]]]:
+        """Ring edges, including the closing edge."""
+        n = len(self.ring)
+        for i in range(n):
+            yield (self.ring[i], self.ring[(i + 1) % n])
+
+    @property
+    def area(self) -> float:
+        """Unsigned shoelace area."""
+        acc = 0.0
+        for (x1, y1), (x2, y2) in self.edges():
+            acc += x1 * y2 - x2 * y1
+        return abs(acc) / 2.0
+
+    def centroid(self) -> Point:
+        """Area-weighted centroid; degenerates to the vertex mean for
+        zero-area rings."""
+        acc = 0.0
+        cx = 0.0
+        cy = 0.0
+        for (x1, y1), (x2, y2) in self.edges():
+            cross = x1 * y2 - x2 * y1
+            acc += cross
+            cx += (x1 + x2) * cross
+            cy += (y1 + y2) * cross
+        if acc == 0.0:
+            xs = [x for x, _ in self.ring]
+            ys = [y for _, y in self.ring]
+            return Point(sum(xs) / len(xs), sum(ys) / len(ys))
+        return Point(cx / (3.0 * acc), cy / (3.0 * acc))
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Even-odd ray casting; boundary points count as inside.
+
+        Boundary inclusiveness matters for conversion correctness: an event
+        exactly on a district border must land in at least one cell, never
+        in zero.
+        """
+        for (x1, y1), (x2, y2) in self.edges():
+            if point_segment_distance(x, y, x1, y1, x2, y2) == 0.0:
+                return True
+        inside = False
+        for (x1, y1), (x2, y2) in self.edges():
+            if (y1 > y) != (y2 > y):
+                x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+                if x < x_cross:
+                    inside = not inside
+        return inside
+
+    def intersects(self, other: Geometry) -> bool:
+        """True when the two geometries share any point."""
+        if isinstance(other, Point):
+            return self.contains_point(other.x, other.y)
+        if isinstance(other, Envelope):
+            if not self.envelope.intersects_envelope(other):
+                return False
+            for x, y in self.ring:
+                if other.contains_point(x, y):
+                    return True
+            for x, y in other.corners():
+                if self.contains_point(x, y):
+                    return True
+            corners = list(other.corners())
+            rect_edges = [(corners[i], corners[(i + 1) % 4]) for i in range(4)]
+            for edge in self.edges():
+                for rect_edge in rect_edges:
+                    if segments_intersect(edge[0], edge[1], rect_edge[0], rect_edge[1]):
+                        return True
+            return False
+        if isinstance(other, LineString):
+            if not self.envelope.intersects_envelope(other.envelope):
+                return False
+            for x, y in other.coords:
+                if self.contains_point(x, y):
+                    return True
+            for seg in other.segments():
+                for edge in self.edges():
+                    if segments_intersect(seg[0], seg[1], edge[0], edge[1]):
+                        return True
+            return False
+        if isinstance(other, Polygon):
+            if not self.envelope.intersects_envelope(other.envelope):
+                return False
+            for x, y in other.ring:
+                if self.contains_point(x, y):
+                    return True
+            for x, y in self.ring:
+                if other.contains_point(x, y):
+                    return True
+            for edge_a in self.edges():
+                for edge_b in other.edges():
+                    if segments_intersect(edge_a[0], edge_a[1], edge_b[0], edge_b[1]):
+                        return True
+            return False
+        raise TypeError(f"unsupported geometry type: {type(other).__name__}")
+
+    def distance_to(self, other: Geometry) -> float:
+        """Minimum planar distance to the other geometry."""
+        if isinstance(other, Point):
+            if self.contains_point(other.x, other.y):
+                return 0.0
+            return min(
+                point_segment_distance(other.x, other.y, x1, y1, x2, y2)
+                for (x1, y1), (x2, y2) in self.edges()
+            )
+        if isinstance(other, (LineString, Polygon, Envelope)):
+            if self.intersects(other):
+                return 0.0
+            boundary = LineString(list(self.ring) + [self.ring[0]])
+            if isinstance(other, Envelope):
+                return boundary.distance_to(other)
+            if isinstance(other, Polygon):
+                other_boundary = LineString(list(other.ring) + [other.ring[0]])
+                return boundary.distance_to(other_boundary)
+            return boundary.distance_to(other)
+        return other.distance_to(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self.ring == other.ring
+
+    def __hash__(self) -> int:
+        return hash(self.ring)
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self.ring)} vertices)"
+
+    def __getstate__(self):
+        return self.ring
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "ring", state)

@@ -1,0 +1,145 @@
+"""N-dimensional boxes shared by the index structures.
+
+The 3-d (x, y, t) box is the common currency between the spatial
+:class:`~repro.geometry.Envelope` and the temporal
+:class:`~repro.temporal.Duration`: selection queries, partition boundaries,
+and R-tree nodes all reduce to it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.envelope import Envelope
+from repro.temporal.duration import Duration
+
+
+class STBox:
+    """An axis-aligned box in N dimensions (closed on every side)."""
+
+    __slots__ = ("mins", "maxs")
+
+    def __init__(self, mins: Sequence[float], maxs: Sequence[float]):
+        if len(mins) != len(maxs):
+            raise ValueError("mins and maxs must have the same dimensionality")
+        if not mins:
+            raise ValueError("a box needs at least one dimension")
+        for lo, hi in zip(mins, maxs):
+            if lo > hi:
+                raise ValueError(f"invalid box: min {lo} > max {hi}")
+        object.__setattr__(self, "mins", tuple(float(v) for v in mins))
+        object.__setattr__(self, "maxs", tuple(float(v) for v in maxs))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("STBox is immutable")
+
+    # -- construction from domain objects ------------------------------------
+
+    @classmethod
+    def from_envelope(cls, env: Envelope) -> "STBox":
+        """2-d box from a spatial envelope."""
+        return cls((env.min_x, env.min_y), (env.max_x, env.max_y))
+
+    @classmethod
+    def from_duration(cls, duration: Duration) -> "STBox":
+        """1-d box from a time interval."""
+        return cls((duration.start,), (duration.end,))
+
+    @classmethod
+    def from_st(cls, env: Envelope, duration: Duration) -> "STBox":
+        """3-d (x, y, t) box from envelope + duration."""
+        return cls(
+            (env.min_x, env.min_y, duration.start),
+            (env.max_x, env.max_y, duration.end),
+        )
+
+    # -- conversion back -------------------------------------------------------
+
+    def to_envelope(self) -> Envelope:
+        """The first two dimensions as an Envelope."""
+        if self.ndim < 2:
+            raise ValueError("need at least 2 dimensions for an envelope")
+        return Envelope(self.mins[0], self.mins[1], self.maxs[0], self.maxs[1])
+
+    def to_duration(self) -> Duration:
+        """Interpret the *last* dimension as time.
+
+        For 1-d boxes this is the only dimension; for 3-d ST boxes it is the
+        ``t`` axis by construction of :meth:`from_st`.
+        """
+        return Duration(self.mins[-1], self.maxs[-1])
+
+    # -- geometry ----------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.mins)
+
+    def center(self) -> tuple[float, ...]:
+        """Per-dimension midpoint."""
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.mins, self.maxs))
+
+    def volume(self) -> float:
+        """Product of per-dimension lengths."""
+        vol = 1.0
+        for lo, hi in zip(self.mins, self.maxs):
+            vol *= hi - lo
+        return vol
+
+    def intersects(self, other: "STBox") -> bool:
+        """True when the two geometries share any point."""
+        if self.ndim != other.ndim:
+            raise ValueError("dimensionality mismatch")
+        for lo, hi, olo, ohi in zip(self.mins, self.maxs, other.mins, other.maxs):
+            if olo > hi or ohi < lo:
+                return False
+        return True
+
+    def contains(self, other: "STBox") -> bool:
+        """True when the other box lies fully inside."""
+        if self.ndim != other.ndim:
+            raise ValueError("dimensionality mismatch")
+        for lo, hi, olo, ohi in zip(self.mins, self.maxs, other.mins, other.maxs):
+            if olo < lo or ohi > hi:
+                return False
+        return True
+
+    def merge(self, other: "STBox") -> "STBox":
+        """Smallest object covering both operands."""
+        if self.ndim != other.ndim:
+            raise ValueError("dimensionality mismatch")
+        return STBox(
+            tuple(min(a, b) for a, b in zip(self.mins, other.mins)),
+            tuple(max(a, b) for a, b in zip(self.maxs, other.maxs)),
+        )
+
+    @classmethod
+    def merge_all(cls, boxes: Sequence["STBox"]) -> "STBox":
+        """Smallest box covering every input."""
+        if not boxes:
+            raise ValueError("cannot merge zero boxes")
+        merged = boxes[0]
+        for box in boxes[1:]:
+            merged = merged.merge(box)
+        return merged
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, STBox):
+            return NotImplemented
+        return self.mins == other.mins and self.maxs == other.maxs
+
+    def __hash__(self) -> int:
+        return hash((self.mins, self.maxs))
+
+    def __repr__(self) -> str:
+        return f"STBox(mins={self.mins}, maxs={self.maxs})"
+
+    def __getstate__(self):
+        return (self.mins, self.maxs)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "mins", state[0])
+        object.__setattr__(self, "maxs", state[1])

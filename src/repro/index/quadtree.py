@@ -1,0 +1,128 @@
+"""Point-region quadtree.
+
+Backs the quad-tree partitioner of Section 3.1: the tree is built over a
+sample of record centroids, its leaves become partition regions, and lookup
+maps a coordinate to the leaf that contains it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geometry.envelope import Envelope
+
+
+class _QuadNode:
+    __slots__ = ("bounds", "points", "children", "depth")
+
+    def __init__(self, bounds: Envelope, depth: int):
+        self.bounds = bounds
+        self.points: list[tuple[float, float]] | None = []
+        self.children: list["_QuadNode"] | None = None
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaf nodes (holding points)."""
+        return self.children is None
+
+
+class QuadTree:
+    """A quadtree over 2-d points with leaf splitting.
+
+    ``capacity`` is the number of points a leaf may hold before it splits;
+    ``max_depth`` caps recursion for degenerate inputs (all points equal).
+    """
+
+    def __init__(self, bounds: Envelope, capacity: int = 32, max_depth: int = 16):
+        if capacity < 1:
+            raise ValueError("leaf capacity must be positive")
+        self.bounds = bounds
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _QuadNode(bounds, 0)
+        self._size = 0
+
+    @classmethod
+    def build(
+        cls,
+        points: Iterable[tuple[float, float]],
+        capacity: int = 32,
+        max_depth: int = 16,
+        bounds: Envelope | None = None,
+    ) -> "QuadTree":
+        """Build a tree over points, inferring bounds if needed."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build a quadtree from zero points")
+        if bounds is None:
+            bounds = Envelope.of_points(pts)
+        tree = cls(bounds, capacity, max_depth)
+        for x, y in pts:
+            tree.insert(x, y)
+        return tree
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, x: float, y: float) -> None:
+        """Insert a point; points outside the root bounds are clamped in.
+
+        Clamping (rather than raising) matches the partitioner contract:
+        every record must map to *some* partition even if the sample used
+        to build the tree missed the extremes.
+        """
+        x = min(max(x, self.bounds.min_x), self.bounds.max_x)
+        y = min(max(y, self.bounds.min_y), self.bounds.max_y)
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, x, y)
+        node.points.append((x, y))
+        self._size += 1
+        if len(node.points) > self.capacity and node.depth < self.max_depth:
+            self._split(node)
+
+    def _split(self, node: _QuadNode) -> None:
+        b = node.bounds
+        mid_x = (b.min_x + b.max_x) / 2.0
+        mid_y = (b.min_y + b.max_y) / 2.0
+        node.children = [
+            _QuadNode(Envelope(b.min_x, b.min_y, mid_x, mid_y), node.depth + 1),
+            _QuadNode(Envelope(mid_x, b.min_y, b.max_x, mid_y), node.depth + 1),
+            _QuadNode(Envelope(b.min_x, mid_y, mid_x, b.max_y), node.depth + 1),
+            _QuadNode(Envelope(mid_x, mid_y, b.max_x, b.max_y), node.depth + 1),
+        ]
+        points = node.points
+        node.points = None
+        for x, y in points:
+            child = self._child_for(node, x, y)
+            child.points.append((x, y))
+
+    @staticmethod
+    def _child_for(node: _QuadNode, x: float, y: float) -> _QuadNode:
+        b = node.bounds
+        mid_x = (b.min_x + b.max_x) / 2.0
+        mid_y = (b.min_y + b.max_y) / 2.0
+        index = (1 if x >= mid_x else 0) + (2 if y >= mid_y else 0)
+        return node.children[index]
+
+    def leaves(self) -> list[Envelope]:
+        """Leaf regions in deterministic (depth-first) order."""
+        result = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node.bounds)
+            else:
+                stack.extend(reversed(node.children))
+        return result
+
+    def leaf_for(self, x: float, y: float) -> Envelope:
+        """Region of the leaf containing (a clamped copy of) the point."""
+        x = min(max(x, self.bounds.min_x), self.bounds.max_x)
+        y = min(max(y, self.bounds.min_y), self.bounds.max_y)
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, x, y)
+        return node.bounds

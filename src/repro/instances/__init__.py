@@ -1,0 +1,34 @@
+"""The five ST instances (paper Section 3.2.1).
+
+Every piece of ST data in the system is an :class:`Instance`: an array of
+:class:`Entry` objects (each a geometry + duration + value) plus an
+instance-level ``data`` field.  The five concrete instances split into two
+categories that drive the conversion matrix of Section 3.2.2:
+
+singular (one real-world record per instance)
+    :class:`Event` — one entry;
+    :class:`Trajectory` — time-ordered point entries.
+
+collective (one structure of parallel cells per instance)
+    :class:`TimeSeries` — cells are time slots;
+    :class:`SpatialMap` — cells are geometries;
+    :class:`Raster` — cells are (geometry, duration) pairs.
+"""
+
+from repro.instances.base import Entry, Instance
+from repro.instances.event import Event
+from repro.instances.trajectory import Trajectory, TrajectoryPoint
+from repro.instances.timeseries import TimeSeries
+from repro.instances.spatialmap import SpatialMap
+from repro.instances.raster import Raster
+
+__all__ = [
+    "Entry",
+    "Instance",
+    "Event",
+    "Trajectory",
+    "TrajectoryPoint",
+    "TimeSeries",
+    "SpatialMap",
+    "Raster",
+]

@@ -1,0 +1,100 @@
+"""Shared behaviour of the collective instances.
+
+A collective instance is a structure of parallel cells; each cell's value
+usually holds either an aggregate or an array of singular instances
+allocated into it by a converter.  The cell-level functional operators here
+back the RDD extension APIs of Table 4 (``mapValue`` / ``mapValuePlus`` /
+``mapData`` / ``mapDataPlus``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.geometry.base import Geometry
+from repro.instances.base import Entry, Instance
+from repro.temporal.duration import Duration
+
+
+class CollectiveInstance(Instance):
+    """Base class for TimeSeries, SpatialMap, and Raster."""
+
+    __slots__ = ()
+
+    is_singular = False
+
+    # -- cell access -------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Number of structure cells."""
+        return len(self.entries)
+
+    def cell_values(self) -> list:
+        """Every cell's value, in cell order."""
+        return [e.value for e in self.entries]
+
+    def cell(self, index: int) -> Entry:
+        """The entry of one cell."""
+        return self.entries[index]
+
+    # -- cell-level functional operators ------------------------------------------
+
+    def map_value(self, f: Callable[[Any], Any]) -> "CollectiveInstance":
+        """Transform each cell value (Table 4 ``mapValue``)."""
+        return self.map_values(f)
+
+    def map_value_plus(
+        self, f: Callable[[Any, Geometry, Duration], Any]
+    ) -> "CollectiveInstance":
+        """Transform each cell value with its ST boundaries available
+        (Table 4 ``mapValuePlus``)."""
+        return self._replace(
+            entries=tuple(
+                e.with_value(f(e.value, e.spatial, e.temporal)) for e in self.entries
+            ),
+            data=self.data,
+        )
+
+    def map_data_plus(
+        self, f: Callable[[Any, list[Geometry], list[Duration]], Any]
+    ) -> "CollectiveInstance":
+        """Transform the data field with the full structure boundaries
+        (Table 4 ``mapDataPlus``)."""
+        spatials = [e.spatial for e in self.entries]
+        temporals = [e.temporal for e in self.entries]
+        return self._replace(
+            entries=self.entries, data=f(self.data, spatials, temporals)
+        )
+
+    # -- merging -------------------------------------------------------------------
+
+    def merge_with(
+        self,
+        other: "CollectiveInstance",
+        combine: Callable[[Any, Any], Any],
+    ) -> "CollectiveInstance":
+        """Cell-wise merge of two instances over the *same* structure.
+
+        This is how per-executor partial structures are folded into the
+        final collective instance after a broadcast-structure conversion.
+        """
+        if type(other) is not type(self):
+            raise TypeError("can only merge collective instances of the same type")
+        if len(other.entries) != len(self.entries):
+            raise ValueError("cannot merge instances with different cell counts")
+        merged = []
+        for mine, theirs in zip(self.entries, other.entries):
+            if mine.spatial != theirs.spatial or mine.temporal != theirs.temporal:
+                raise ValueError("cannot merge instances over different structures")
+            merged.append(mine.with_value(combine(mine.value, theirs.value)))
+        return self._replace(entries=merged, data=self.data)
+
+    def with_cell_values(self, values: Sequence) -> "CollectiveInstance":
+        """Replace all cell values positionally."""
+        if len(values) != len(self.entries):
+            raise ValueError("value count must match cell count")
+        return self._replace(
+            entries=tuple(e.with_value(v) for e, v in zip(self.entries, values)),
+            data=self.data,
+        )

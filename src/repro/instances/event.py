@@ -1,0 +1,68 @@
+"""Event — the atomic singular instance."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.geometry.base import Geometry
+from repro.geometry.point import Point
+from repro.instances.base import Entry, Instance
+from repro.temporal.duration import Duration
+
+
+class Event(Instance):
+    """A single geometry with a single duration (paper: entry count = 1).
+
+    The typical case — a taxi pick-up, a check-in, an air-quality sample —
+    is a point with an instant, built via :meth:`of_point`.  ``data``
+    conventionally carries the record id or an attribute dict.
+    """
+
+    __slots__ = ()
+
+    is_singular = True
+
+    def __init__(self, spatial: Geometry, temporal: Duration, value: Any = None, data: Any = None):
+        super().__init__([Entry(spatial, temporal, value)], data)
+
+    @classmethod
+    def of_point(
+        cls,
+        lon: float,
+        lat: float,
+        t: float,
+        value: Any = None,
+        data: Any = None,
+    ) -> "Event":
+        """The common point-at-instant event."""
+        return cls(Point(lon, lat), Duration.instant(t), value, data)
+
+    @property
+    def entry(self) -> Entry:
+        """The single entry."""
+        return self.entries[0]
+
+    @property
+    def spatial(self) -> Geometry:
+        """The single entry's geometry."""
+        return self.entries[0].spatial
+
+    @property
+    def temporal(self) -> Duration:
+        """The single entry's duration."""
+        return self.entries[0].temporal
+
+    @property
+    def value(self) -> Any:
+        """The single entry's value field."""
+        return self.entries[0].value
+
+    def _replace(self, entries, data):
+        entries = tuple(entries)
+        if len(entries) != 1:
+            raise ValueError("an event must keep exactly one entry")
+        e = entries[0]
+        return Event(e.spatial, e.temporal, e.value, data)
+
+    def __repr__(self) -> str:
+        return f"Event({self.spatial!r}, {self.temporal!r}, data={self.data!r})"

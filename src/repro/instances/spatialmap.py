@@ -1,0 +1,76 @@
+"""SpatialMap — ST data organized by spatial cells."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.instances.base import Entry
+from repro.instances.collective import CollectiveInstance
+from repro.temporal.duration import Duration
+
+#: Placeholder duration for spatial-map cells: the temporal field is "not a
+#: focus" for spatial maps (paper Section 3.2.1); conversions ignore it.
+_PLACEHOLDER = Duration.instant(0.0)
+
+
+class SpatialMap(CollectiveInstance):
+    """Cells are explicit geometries: grid squares, road segments, districts."""
+
+    __slots__ = ()
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def of_geometries(
+        cls,
+        geometries: Sequence[Geometry],
+        value_factory: Callable[[], Any] = list,
+        temporal: Duration | None = None,
+        data: Any = None,
+    ) -> "SpatialMap":
+        """Empty spatial map over explicit cell geometries."""
+        if not geometries:
+            raise ValueError("a spatial map needs at least one cell")
+        dur = temporal or _PLACEHOLDER
+        return cls([Entry(g, dur, value_factory()) for g in geometries], data)
+
+    @classmethod
+    def regular(
+        cls,
+        extent: Envelope,
+        nx: int,
+        ny: int,
+        value_factory: Callable[[], Any] = list,
+        data: Any = None,
+    ) -> "SpatialMap":
+        """An ``nx * ny`` grid of envelope cells densely tiling ``extent`` —
+        eligible for the analytic conversion shortcut of Section 4.2.
+
+        Cell order is row-major matching :meth:`Envelope.split`.
+        """
+        return cls.of_geometries(extent.split(nx, ny), value_factory, data=data)
+
+    # -- accessors ---------------------------------------------------------------
+
+    def geometries(self) -> list[Geometry]:
+        """The cell geometries, in order."""
+        return [e.spatial for e in self.entries]
+
+    def cell_of_point(self, x: float, y: float) -> int | None:
+        """Index of the first cell containing the point, else None."""
+        for i, e in enumerate(self.entries):
+            geom = e.spatial
+            if isinstance(geom, Envelope):
+                if geom.contains_point(x, y):
+                    return i
+            else:
+                from repro.geometry.point import Point
+
+                if geom.intersects(Point(x, y)):
+                    return i
+        return None
+
+    def __repr__(self) -> str:
+        return f"SpatialMap(cells={len(self.entries)}, data={self.data!r})"

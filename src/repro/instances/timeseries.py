@@ -1,0 +1,73 @@
+"""TimeSeries — ST data organized by time slots."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.geometry.base import Geometry
+from repro.geometry.point import Point
+from repro.instances.base import Entry
+from repro.instances.collective import CollectiveInstance
+from repro.temporal.duration import Duration
+from repro.temporal.windows import tumbling_windows
+
+#: Placeholder geometry for time-series cells: the paper notes the spatial
+#: field of a time series "is not a focus"; conversions never consult it.
+_PLACEHOLDER = Point(0.0, 0.0)
+
+
+class TimeSeries(CollectiveInstance):
+    """Cells are consecutive time slots; values hold whatever falls in them."""
+
+    __slots__ = ()
+
+    def __init__(self, entries, data: Any = None):
+        entries = tuple(entries)
+        for prev, cur in zip(entries, entries[1:]):
+            if cur.temporal.start < prev.temporal.start:
+                raise ValueError("time-series slots must be time-ordered")
+        super().__init__(entries, data)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def of_slots(
+        cls,
+        slots: Sequence[Duration],
+        value_factory: Callable[[], Any] = list,
+        spatial: Geometry | None = None,
+        data: Any = None,
+    ) -> "TimeSeries":
+        """Empty time series over explicit slots."""
+        geom = spatial or _PLACEHOLDER
+        return cls([Entry(geom, slot, value_factory()) for slot in slots], data)
+
+    @classmethod
+    def regular(
+        cls,
+        extent: Duration,
+        slot_seconds: float,
+        value_factory: Callable[[], Any] = list,
+        data: Any = None,
+    ) -> "TimeSeries":
+        """Regular (equal, dense) slots tiling ``extent`` — eligible for the
+        analytic conversion shortcut of Section 4.2."""
+        return cls.of_slots(
+            tumbling_windows(extent, slot_seconds), value_factory, data=data
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    def slots(self) -> list[Duration]:
+        """The time slots, in order."""
+        return [e.temporal for e in self.entries]
+
+    def slot_of(self, t: float) -> int | None:
+        """Index of the slot containing ``t`` (first match), else None."""
+        for i, e in enumerate(self.entries):
+            if e.temporal.contains(t):
+                return i
+        return None
+
+    def __repr__(self) -> str:
+        return f"TimeSeries(slots={len(self.entries)}, data={self.data!r})"

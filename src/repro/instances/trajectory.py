@@ -1,0 +1,162 @@
+"""Trajectory — time-ordered point sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.geometry.distance import haversine_distance
+from repro.geometry.point import Point
+from repro.instances.base import Entry, Instance
+from repro.temporal.duration import Duration
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """A convenience record for one sojourn point: (lon, lat, t, value)."""
+
+    lon: float
+    lat: float
+    t: float
+    value: Any = None
+
+
+class Trajectory(Instance):
+    """A sequence of ST points sorted by time (paper Section 3.2.1).
+
+    Entries are restricted to point geometries and must be
+    non-time-decreasing; the constructor enforces both so every downstream
+    computation (speed, sliding windows, map matching) can rely on the
+    invariant.  ``data`` conventionally carries the trip id.
+    """
+
+    __slots__ = ()
+
+    is_singular = True
+
+    def __init__(self, entries: Sequence[Entry], data: Any = None):
+        entries = tuple(entries)
+        for e in entries:
+            if not isinstance(e.spatial, Point):
+                raise TypeError("trajectory entries must have point geometries")
+        for prev, cur in zip(entries, entries[1:]):
+            if cur.temporal.start < prev.temporal.start:
+                raise ValueError("trajectory entries must be sorted by time")
+        super().__init__(entries, data)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def of_points(
+        cls,
+        points: Sequence[TrajectoryPoint] | Sequence[tuple],
+        data: Any = None,
+        sort: bool = False,
+    ) -> "Trajectory":
+        """Build from ``TrajectoryPoint`` records or (lon, lat, t[, value]) tuples."""
+        normalized: list[TrajectoryPoint] = []
+        for p in points:
+            if isinstance(p, TrajectoryPoint):
+                normalized.append(p)
+            else:
+                lon, lat, t = p[0], p[1], p[2]
+                value = p[3] if len(p) > 3 else None
+                normalized.append(TrajectoryPoint(lon, lat, t, value))
+        if sort:
+            normalized.sort(key=lambda p: p.t)
+        entries = [
+            Entry(Point(p.lon, p.lat), Duration.instant(p.t), p.value)
+            for p in normalized
+        ]
+        return cls(entries, data)
+
+    # -- accessors ----------------------------------------------------------------
+
+    def points(self) -> list[TrajectoryPoint]:
+        """The entries as TrajectoryPoint records."""
+        return [
+            TrajectoryPoint(e.spatial.x, e.spatial.y, e.temporal.start, e.value)
+            for e in self.entries
+        ]
+
+    def consecutive(self) -> Iterator[tuple[Entry, Entry]]:
+        """Sliding pairs of consecutive entries."""
+        for i in range(len(self.entries) - 1):
+            yield (self.entries[i], self.entries[i + 1])
+
+    # -- derived measures --------------------------------------------------------------
+
+    def length_meters(self) -> float:
+        """Great-circle path length (coordinates are lon/lat)."""
+        return sum(
+            haversine_distance(a.spatial.x, a.spatial.y, b.spatial.x, b.spatial.y)
+            for a, b in self.consecutive()
+        )
+
+    def duration_seconds(self) -> float:
+        """Elapsed time from first to last entry."""
+        return self.temporal_extent.length
+
+    def average_speed_ms(self) -> float:
+        """Mean speed in meters/second; 0 for zero-duration trajectories."""
+        elapsed = self.duration_seconds()
+        if elapsed <= 0:
+            return 0.0
+        return self.length_meters() / elapsed
+
+    def average_speed_kmh(self) -> float:
+        """Mean speed in km/h."""
+        return self.average_speed_ms() * 3.6
+
+    def segment_speeds_ms(self) -> list[float]:
+        """Per-segment speeds; zero-duration segments yield inf-free 0.0."""
+        speeds = []
+        for a, b in self.consecutive():
+            dt = b.temporal.start - a.temporal.start
+            d = haversine_distance(a.spatial.x, a.spatial.y, b.spatial.x, b.spatial.y)
+            speeds.append(d / dt if dt > 0 else 0.0)
+        return speeds
+
+    def sub_trajectory(self, duration: Duration) -> "Trajectory | None":
+        """Entries whose timestamps fall in ``duration``; None if fewer than one."""
+        kept = [e for e in self.entries if duration.intersects(e.temporal)]
+        if not kept:
+            return None
+        return Trajectory(kept, self.data)
+
+    def resampled(self, interval: float) -> "Trajectory":
+        """Linear-interpolation resample at a fixed time interval.
+
+        Used by dataset enlargement and by the flow-inference example; the
+        first and last original points are always retained.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        pts = self.points()
+        if len(pts) < 2:
+            return self
+        out = [pts[0]]
+        t = pts[0].t + interval
+        i = 0
+        while t < pts[-1].t:
+            while pts[i + 1].t < t:
+                i += 1
+            a, b = pts[i], pts[i + 1]
+            frac = (t - a.t) / (b.t - a.t) if b.t > a.t else 0.0
+            out.append(
+                TrajectoryPoint(
+                    a.lon + frac * (b.lon - a.lon),
+                    a.lat + frac * (b.lat - a.lat),
+                    t,
+                    a.value,
+                )
+            )
+            t += interval
+        out.append(pts[-1])
+        return Trajectory.of_points(out, self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory(points={len(self.entries)}, data={self.data!r}, "
+            f"span={self.duration_seconds():.0f}s)"
+        )

@@ -1,0 +1,31 @@
+"""Road networks and HMM map matching (paper Section 3.2.2).
+
+ST4ML's trajectory→trajectory calibration conversion runs the Hidden
+Markov Model map matching of Newson & Krumm (2009): GPS points are snapped
+to candidate road segments (shortlisted with an R-tree over segments,
+broadcast to every executor), and Viterbi decoding picks the most likely
+segment sequence given Gaussian emission noise and route-length-consistent
+transitions.
+
+* :class:`RoadNetwork` — directed road graph with segment geometry, an
+  R-tree over segments, and Dijkstra shortest paths;
+* :class:`HmmMapMatcher` — the Newson-Krumm matcher;
+* :class:`Traj2TrajMapMatchConverter` / :class:`Event2EventConverter` —
+  the calibration conversions built on top.
+"""
+
+from repro.mapmatching.road_network import RoadNetwork, RoadSegment
+from repro.mapmatching.hmm import HmmMapMatcher, MatchedPoint
+from repro.mapmatching.converters import (
+    Event2EventConverter,
+    Traj2TrajMapMatchConverter,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "RoadSegment",
+    "HmmMapMatcher",
+    "MatchedPoint",
+    "Traj2TrajMapMatchConverter",
+    "Event2EventConverter",
+]

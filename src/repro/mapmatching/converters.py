@@ -1,0 +1,105 @@
+"""Calibration conversions built on map matching.
+
+These complete the singular→singular conversion set of Section 3.2.2:
+
+* trajectory→trajectory — HMM map matching, run in parallel with the road
+  network (and its segment R-tree) broadcast once to all executors;
+* event→event — snap each event to its nearest road segment.
+"""
+
+from __future__ import annotations
+
+from repro.engine.rdd import RDD
+from repro.instances.event import Event
+from repro.instances.trajectory import Trajectory
+from repro.mapmatching.hmm import HmmMapMatcher
+from repro.mapmatching.road_network import RoadNetwork
+
+
+class Traj2TrajMapMatchConverter:
+    """Calibrate raw trajectories onto the road network.
+
+    Output trajectories have entry points on road segments and entry
+    values carrying the matched segment id; trajectories with no matched
+    points are dropped (sensing noise beyond recovery).
+    """
+
+    def __init__(self, network: RoadNetwork, **matcher_kwargs):
+        self.network = network
+        self.matcher_kwargs = matcher_kwargs
+
+    def convert(self, rdd: RDD) -> RDD:
+        # Build the segment index once, then broadcast network + index.
+        """Apply this conversion to the RDD (see class docstring)."""
+        self.network.rtree()
+        broadcast = rdd.ctx.broadcast(
+            self.network, record_count=self.network.n_segments
+        )
+        kwargs = self.matcher_kwargs
+
+        def match_partition(partition: list) -> list:
+            matcher = HmmMapMatcher(broadcast.value, **kwargs)
+            out = []
+            for traj in partition:
+                if not isinstance(traj, Trajectory):
+                    raise TypeError("map matching expects trajectories")
+                matched = matcher.match_to_trajectory(traj)
+                if matched is not None:
+                    out.append(matched)
+            return out
+
+        return rdd.map_partitions(match_partition)
+
+
+class Event2EventConverter:
+    """Project each event onto its nearest road segment.
+
+    Events farther than ``search_radius_meters`` from any segment are kept
+    unmodified (calibration should not invent positions); set
+    ``drop_unmatched=True`` to discard them instead.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        search_radius_meters: float = 150.0,
+        drop_unmatched: bool = False,
+    ):
+        self.network = network
+        self.search_radius_meters = search_radius_meters
+        self.drop_unmatched = drop_unmatched
+
+    def convert(self, rdd: RDD) -> RDD:
+        """Apply this conversion to the RDD (see class docstring)."""
+        self.network.rtree()
+        broadcast = rdd.ctx.broadcast(
+            self.network, record_count=self.network.n_segments
+        )
+        radius = self.search_radius_meters
+        drop = self.drop_unmatched
+
+        def snap_partition(partition: list) -> list:
+            network = broadcast.value
+            out = []
+            for ev in partition:
+                if not isinstance(ev, Event):
+                    raise TypeError("event calibration expects events")
+                candidates = network.candidate_segments(
+                    ev.spatial.x, ev.spatial.y, radius, max_candidates=1
+                )
+                if not candidates:
+                    if not drop:
+                        out.append(ev)
+                    continue
+                seg_id, _ = candidates[0]
+                snap_lon, snap_lat, _, _ = network.segment(seg_id).project(
+                    ev.spatial.x, ev.spatial.y
+                )
+                out.append(
+                    Event.of_point(
+                        snap_lon, snap_lat, ev.temporal.start, value=seg_id, data=ev.data
+                    )
+                )
+            return out
+
+        return rdd.map_partitions(snap_partition)

@@ -1,0 +1,239 @@
+"""Hidden Markov Model map matching — Newson & Krumm (2009).
+
+The model: hidden states are candidate road segments per GPS sample;
+
+* **emission** — GPS noise is zero-mean Gaussian, so the probability of
+  observing a sample at distance ``d`` from its true segment is
+  ``N(0, sigma)`` evaluated at ``d``;
+* **transition** — the difference between on-road route distance and
+  great-circle distance of consecutive samples is exponentially
+  distributed with scale ``beta`` (detours are unlikely);
+* Viterbi decoding finds the maximum-likelihood segment sequence, with a
+  restart when no candidate connects (gap in the network or the data).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.distance import haversine_distance
+from repro.instances.trajectory import Trajectory, TrajectoryPoint
+from repro.mapmatching.road_network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class MatchedPoint:
+    """One map-matched sample: snapped position + matched segment."""
+
+    lon: float
+    lat: float
+    t: float
+    segment_id: int
+    fraction: float
+    original_lon: float
+    original_lat: float
+    snap_distance_meters: float
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    segment_id: int
+    lon: float
+    lat: float
+    distance: float
+    fraction: float
+
+
+class HmmMapMatcher:
+    """Newson-Krumm map matcher over a :class:`RoadNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The road graph (its segment R-tree accelerates candidate search).
+    sigma_meters:
+        GPS noise standard deviation (emission model).
+    beta_meters:
+        Scale of the route-vs-great-circle discrepancy (transition model).
+    search_radius_meters:
+        Candidate shortlist radius per sample.
+    max_candidates:
+        Candidates retained per sample after exact projection.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        sigma_meters: float = 20.0,
+        beta_meters: float = 200.0,
+        search_radius_meters: float = 150.0,
+        max_candidates: int = 8,
+    ):
+        if sigma_meters <= 0 or beta_meters <= 0 or search_radius_meters <= 0:
+            raise ValueError("model parameters must be positive")
+        self.network = network
+        self.sigma = sigma_meters
+        self.beta = beta_meters
+        self.search_radius = search_radius_meters
+        self.max_candidates = max_candidates
+
+    # -- model terms (log space) -----------------------------------------------
+
+    def _log_emission(self, snap_distance: float) -> float:
+        return -0.5 * (snap_distance / self.sigma) ** 2
+
+    def _log_transition(self, route_dist: float, straight_dist: float) -> float:
+        if math.isinf(route_dist):
+            return -math.inf
+        return -abs(route_dist - straight_dist) / self.beta
+
+    # -- candidate generation ------------------------------------------------------
+
+    def _candidates(self, lon: float, lat: float) -> list[_Candidate]:
+        out = []
+        for seg_id, _ in self.network.candidate_segments(
+            lon, lat, self.search_radius, self.max_candidates
+        ):
+            snap_lon, snap_lat, dist, frac = self.network.segment(seg_id).project(
+                lon, lat
+            )
+            out.append(_Candidate(seg_id, snap_lon, snap_lat, dist, frac))
+        return out
+
+    # -- matching ----------------------------------------------------------------------
+
+    def match(self, trajectory: Trajectory) -> list[MatchedPoint]:
+        """Viterbi-decode the trajectory; unmatched samples are dropped.
+
+        When consecutive samples have no connected candidates (route
+        distance infinite for every pair), the chain restarts — standard
+        practice for sparse or gappy traces like the camera-derived
+        trajectories of the Section 6 case study.
+        """
+        points = trajectory.points()
+        if not points:
+            return []
+        matched: list[MatchedPoint] = []
+        chain_points: list[TrajectoryPoint] = []
+        chain_candidates: list[list[_Candidate]] = []
+
+        def flush() -> None:
+            if chain_points:
+                matched.extend(self._viterbi(chain_points, chain_candidates))
+            chain_points.clear()
+            chain_candidates.clear()
+
+        for p in points:
+            candidates = self._candidates(p.lon, p.lat)
+            if not candidates:
+                flush()
+                continue
+            if chain_points:
+                # Restart the chain when nothing connects to the new sample.
+                if not self._any_connection(
+                    chain_points[-1], chain_candidates[-1], p, candidates
+                ):
+                    flush()
+            chain_points.append(p)
+            chain_candidates.append(candidates)
+        flush()
+        return matched
+
+    def match_to_trajectory(self, trajectory: Trajectory) -> Trajectory | None:
+        """Matched result as a calibrated trajectory (entry values are the
+        matched segment ids); ``None`` when nothing matched."""
+        matched = self.match(trajectory)
+        if not matched:
+            return None
+        return Trajectory.of_points(
+            [(m.lon, m.lat, m.t, m.segment_id) for m in matched],
+            data=trajectory.data,
+        )
+
+    def _route_cutoff(self, straight_dist: float) -> float:
+        # Routes wildly longer than the straight line carry negligible
+        # probability; cutting Dijkstra there bounds the per-pair cost.
+        return straight_dist + 10.0 * self.beta
+
+    def _any_connection(
+        self,
+        prev_point: TrajectoryPoint,
+        prev_candidates: list[_Candidate],
+        point: TrajectoryPoint,
+        candidates: list[_Candidate],
+    ) -> bool:
+        straight = haversine_distance(prev_point.lon, prev_point.lat, point.lon, point.lat)
+        cutoff = self._route_cutoff(straight)
+        for a in prev_candidates:
+            for b in candidates:
+                route = self.network.route_distance_meters(
+                    a.segment_id, a.fraction, b.segment_id, b.fraction, cutoff
+                )
+                if not math.isinf(route):
+                    return True
+        return False
+
+    def _viterbi(
+        self,
+        points: list[TrajectoryPoint],
+        candidates_per_point: list[list[_Candidate]],
+    ) -> list[MatchedPoint]:
+        # scores[i][j]: best log-likelihood ending at candidate j of point i.
+        scores = [[self._log_emission(c.distance) for c in candidates_per_point[0]]]
+        back: list[list[int]] = [[-1] * len(candidates_per_point[0])]
+        for i in range(1, len(points)):
+            straight = haversine_distance(
+                points[i - 1].lon, points[i - 1].lat, points[i].lon, points[i].lat
+            )
+            cutoff = self._route_cutoff(straight)
+            row_scores = []
+            row_back = []
+            for b in candidates_per_point[i]:
+                best_score = -math.inf
+                best_prev = -1
+                for j, a in enumerate(candidates_per_point[i - 1]):
+                    if math.isinf(scores[i - 1][j]):
+                        continue
+                    route = self.network.route_distance_meters(
+                        a.segment_id, a.fraction, b.segment_id, b.fraction, cutoff
+                    )
+                    candidate_score = scores[i - 1][j] + self._log_transition(
+                        route, straight
+                    )
+                    if candidate_score > best_score:
+                        best_score = candidate_score
+                        best_prev = j
+                row_scores.append(best_score + self._log_emission(b.distance))
+                row_back.append(best_prev)
+            scores.append(row_scores)
+            back.append(row_back)
+        # Backtrack from the best final candidate.
+        last = max(range(len(scores[-1])), key=lambda j: scores[-1][j])
+        path = [last]
+        for i in range(len(points) - 1, 0, -1):
+            last = back[i][last]
+            if last < 0:
+                # Disconnected despite the restart guard (numerical corner);
+                # fall back to the locally best candidate.
+                last = max(
+                    range(len(scores[i - 1])), key=lambda j: scores[i - 1][j]
+                )
+            path.append(last)
+        path.reverse()
+        out = []
+        for p, candidate_list, idx in zip(points, candidates_per_point, path):
+            c = candidate_list[idx]
+            out.append(
+                MatchedPoint(
+                    lon=c.lon,
+                    lat=c.lat,
+                    t=p.t,
+                    segment_id=c.segment_id,
+                    fraction=c.fraction,
+                    original_lon=p.lon,
+                    original_lat=p.lat,
+                    snap_distance_meters=c.distance,
+                )
+            )
+        return out

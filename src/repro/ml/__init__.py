@@ -1,0 +1,39 @@
+"""ML-facing output layer.
+
+The paper's pipeline ends with "extracted feature outputs ... directed to
+Spark-affiliated ML modules ... or channeled to external ML engines, like
+TensorFlow and PyTorch, in standard JSON or CSV data formats"
+(Section 3.3), and its motivating application consumes features as a
+sequence of 2-d matrices ``[A^t0, A^t1, ...]`` (Section 2.1).
+
+This package closes that loop:
+
+* :mod:`repro.ml.tensors` — assemble numpy matrices/tensors from extracted
+  rasters, spatial maps, and time series (including the ``[A^t]`` sequence
+  of the traffic-forecast formulation) and build supervised
+  sliding-window datasets from them;
+* :mod:`repro.ml.export` — JSON / CSV feature channeling;
+* :mod:`repro.ml.forecast` — a self-contained least-squares baseline
+  forecaster (the "downstream model" stand-in) so examples and tests can
+  demonstrate an end-to-end *STDML* workflow without external ML engines.
+"""
+
+from repro.ml.tensors import (
+    raster_to_matrix_sequence,
+    sliding_window_dataset,
+    spatial_map_to_matrix,
+    time_series_to_vector,
+)
+from repro.ml.export import features_to_csv, features_to_json
+from repro.ml.forecast import RidgeForecaster, train_test_split_windows
+
+__all__ = [
+    "raster_to_matrix_sequence",
+    "spatial_map_to_matrix",
+    "time_series_to_vector",
+    "sliding_window_dataset",
+    "features_to_json",
+    "features_to_csv",
+    "RidgeForecaster",
+    "train_test_split_windows",
+]

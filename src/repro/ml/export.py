@@ -1,0 +1,77 @@
+"""Feature channeling to external ML engines (JSON / CSV).
+
+Section 3.3: extracted features can be "channeled to external ML engines,
+like TensorFlow and PyTorch, in standard JSON or CSV data formats".
+These writers serialize a collective instance's cells with their ST
+boundaries so the consumer needs no back-reference to the structure.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.geometry.envelope import Envelope
+from repro.instances.collective import CollectiveInstance
+
+
+def _cell_rows(
+    instance: CollectiveInstance,
+    value_encoder: Callable[[Any], Any],
+) -> list[dict]:
+    rows = []
+    for cell_id, entry in enumerate(instance.entries):
+        env: Envelope = entry.spatial.envelope
+        rows.append(
+            {
+                "cell": cell_id,
+                "min_x": env.min_x,
+                "min_y": env.min_y,
+                "max_x": env.max_x,
+                "max_y": env.max_y,
+                "t_start": entry.temporal.start,
+                "t_end": entry.temporal.end,
+                "value": value_encoder(entry.value),
+            }
+        )
+    return rows
+
+
+def features_to_json(
+    path: str | Path,
+    instance: CollectiveInstance,
+    value_encoder: Callable[[Any], Any] = lambda v: v,
+) -> Path:
+    """Write one JSON document: structure kind + per-cell features."""
+    path = Path(path)
+    payload = {
+        "instance_type": type(instance).__name__,
+        "n_cells": instance.n_cells,
+        "data": repr(instance.data) if instance.data is not None else None,
+        "cells": _cell_rows(instance, value_encoder),
+    }
+    path.write_text(json.dumps(payload, indent=1, default=str))
+    return path
+
+
+def features_to_csv(
+    path: str | Path,
+    instance: CollectiveInstance,
+    value_encoder: Callable[[Any], Any] = lambda v: v,
+) -> Path:
+    """Write per-cell features as CSV (one row per cell)."""
+    path = Path(path)
+    rows = _cell_rows(instance, value_encoder)
+    columns = ["cell", "min_x", "min_y", "max_x", "max_y", "t_start", "t_end", "value"]
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def load_features_json(path: str | Path) -> dict:
+    """Read back a features JSON document (round-trip convenience)."""
+    return json.loads(Path(path).read_text())

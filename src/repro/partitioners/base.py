@@ -1,0 +1,128 @@
+"""Partitioner contract."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.index.boxes import STBox
+from repro.instances.base import Instance
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.rdd import RDD
+
+#: Sentinel magnitude used for dimensions a partitioner does not constrain
+#: (e.g. the temporal extent of a purely spatial partitioner).  Finite so
+#: boxes stay JSON-serializable and index-safe.
+UNBOUNDED = 1.0e18
+
+
+class STPartitioner(ABC):
+    """Learns boundaries from a sample, then assigns instances to partitions.
+
+    Lifecycle::
+
+        p = TSTRPartitioner(gt=8, gs=16)
+        partitioned = p.partition(rdd)          # fit on a sample + shuffle
+
+    or, when the caller manages sampling itself::
+
+        p.fit(sample_instances)
+        partitioned = rdd.shuffle_by(p.num_partitions, p.assign)
+
+    After fitting, ``boundaries()`` exposes one ST box per partition; the
+    on-disk metadata writer (Section 4.1) persists these next to the data.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # -- fitting ------------------------------------------------------------------
+
+    @abstractmethod
+    def fit(self, sample: Sequence[Instance]) -> None:
+        """Compute partition boundaries from a sample of instances."""
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once fit() has run."""
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before assigning"
+            )
+
+    # -- assignment -----------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_partitions(self) -> int:
+        """Partition count; valid after :meth:`fit`."""
+
+    @abstractmethod
+    def assign(self, instance: Instance) -> int:
+        """Partition id for an instance, by its representative ST center.
+
+        Total: any instance maps to exactly one partition, including
+        instances outside the fitted sample's extent.
+        """
+
+    def assign_all(self, instance: Instance) -> list[int]:
+        """All partitions whose region overlaps the instance's ST MBR.
+
+        Used when ``duplicate=True``: cross-boundary instances are copied
+        into every overlapping partition so local-only computations (e.g.
+        companion search) stay correct.  Always contains
+        ``assign(instance)``.
+        """
+        self._require_fitted()
+        box = instance.st_box()
+        primary = self.assign(instance)
+        hits = {
+            pid
+            for pid, bound in enumerate(self.boundaries())
+            if bound.intersects(box)
+        }
+        hits.add(primary)
+        return sorted(hits)
+
+    @abstractmethod
+    def boundaries(self) -> list[STBox]:
+        """One 3-d (x, y, t) box per partition, jointly covering all space."""
+
+    # -- execution ---------------------------------------------------------------------
+
+    def partition(
+        self,
+        rdd: "RDD[Instance]",
+        sample_fraction: float = 0.1,
+        duplicate: bool = False,
+        seed: int = 17,
+    ) -> "RDD[Instance]":
+        """Fit on a sample of ``rdd`` and shuffle it into balanced partitions.
+
+        The sampling-then-assigning flow follows Section 3.1: boundaries are
+        computed from a fraction of the data ("takes much shorter time and
+        only induces minor degradation in load balance"), then every record
+        is routed in parallel.
+        """
+        sample = [x for p in rdd.sample(sample_fraction, seed)._collect_partitions() for x in p]
+        if not sample:
+            sample = rdd.take(1000)
+        self.fit(sample)
+        assigner = self.assign_all if duplicate else self.assign
+        return rdd.shuffle_by(self.num_partitions, assigner)
+
+    def partition_with_info(
+        self,
+        rdd: "RDD[Instance]",
+        sample_fraction: float = 0.1,
+        duplicate: bool = False,
+        seed: int = 17,
+    ) -> tuple["RDD[Instance]", list[STBox]]:
+        """Like :meth:`partition` but also return the partition boundaries —
+        the ``stPartitionWithInfo`` of Section 4.1's code example."""
+        partitioned = self.partition(rdd, sample_fraction, duplicate, seed)
+        return partitioned, self.boundaries()

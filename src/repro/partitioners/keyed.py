@@ -1,0 +1,116 @@
+"""Keyed-STR partitioner — the paper's T-STR generalization.
+
+Section 4.1: "Such an idea can be extended with more dimensions according
+to the application needs.  Any 1-d attribute of the ST data (e.g., the ID
+and the vehicle type) can be included for partitioning."
+
+:class:`KeyedSTRPartitioner` partitions first by the quantiles of an
+arbitrary numeric 1-d key (temporal center, vehicle id hash, sampling
+rate, …) and then spatially with 2-d STR inside each key slice —
+:class:`~repro.partitioners.TSTRPartitioner` is exactly this with
+``key_func = temporal center``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.index.boxes import STBox
+from repro.instances.base import Instance
+from repro.partitioners.base import STPartitioner, UNBOUNDED
+from repro.partitioners.tiling import (
+    Str2D,
+    bucket_of,
+    equal_count_cuts,
+)
+
+
+class KeyedSTRPartitioner(STPartitioner):
+    """Quantile slices of a custom 1-d key, then 2-d STR per slice.
+
+    Parameters
+    ----------
+    key_func:
+        Maps an instance to a numeric key.  Must be deterministic — the
+        same function routes records during the shuffle.
+    gk:
+        Number of key slices.
+    gs:
+        Spatial cells per slice.
+    """
+
+    def __init__(self, key_func: Callable[[Instance], float], gk: int, gs: int):
+        super().__init__()
+        if gk < 1 or gs < 1:
+            raise ValueError("granularities must be positive")
+        self.key_func = key_func
+        self.gk = gk
+        self.gs = gs
+        self._cuts: list[float] | None = None
+        self._tilings: list[Str2D] | None = None
+        self._offsets: list[int] | None = None
+
+    def fit(self, sample: Sequence[Instance]) -> None:
+        """Learn partition boundaries from a sample (see STPartitioner)."""
+        if not sample:
+            raise ValueError("cannot fit on an empty sample")
+        keyed = [(self.key_func(inst), inst) for inst in sample]
+        self._cuts = equal_count_cuts([k for k, _ in keyed], self.gk)
+        slices: list[list[tuple[float, float]]] = [
+            [] for _ in range(len(self._cuts) + 1)
+        ]
+        for key, inst in keyed:
+            center = inst.spatial_extent.centroid()
+            slices[bucket_of(self._cuts, key)].append((center.x, center.y))
+        self._tilings = []
+        self._offsets = [0]
+        for slice_points in slices:
+            tiling = Str2D(slice_points or [(0.0, 0.0)], self.gs if slice_points else 1)
+            self._tilings.append(tiling)
+            self._offsets.append(self._offsets[-1] + tiling.cell_count)
+        self._fitted = True
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count; valid after fit()."""
+        self._require_fitted()
+        return self._offsets[-1]
+
+    def assign(self, instance: Instance) -> int:
+        """Partition id for an instance (see STPartitioner)."""
+        self._require_fitted()
+        key_slice = bucket_of(self._cuts, self.key_func(instance))
+        center = instance.spatial_extent.centroid()
+        return self._offsets[key_slice] + self._tilings[key_slice].cell_of(
+            center.x, center.y
+        )
+
+    def assign_all(self, instance: Instance) -> list[int]:
+        # A scalar key places the instance in exactly one key slice; only
+        # the spatial dimension can straddle boundaries.
+        """All partitions overlapping the instance MBR (see STPartitioner)."""
+        self._require_fitted()
+        key_slice = bucket_of(self._cuts, self.key_func(instance))
+        base = self._offsets[key_slice]
+        return sorted(
+            base + cell
+            for cell in self._tilings[key_slice].cells_overlapping(
+                instance.spatial_extent
+            )
+        )
+
+    def boundaries(self) -> list[STBox]:
+        """Spatial boundaries per partition; the key dimension is not an ST
+        axis, so the temporal extent is unbounded."""
+        self._require_fitted()
+        boxes = []
+        for tiling in self._tilings:
+            for cell in range(tiling.cell_count):
+                env = tiling.cell_envelope(cell)
+                boxes.append(
+                    STBox(
+                        (env.min_x, env.min_y, -UNBOUNDED),
+                        (env.max_x, env.max_y, UNBOUNDED),
+                    )
+                )
+        return boxes

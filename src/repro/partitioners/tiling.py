@@ -1,0 +1,120 @@
+"""Shared tiling machinery for the boundary-based partitioners."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.geometry.envelope import Envelope
+from repro.partitioners.base import UNBOUNDED
+
+
+def equal_count_cuts(values: Sequence[float], k: int) -> list[float]:
+    """``k - 1`` cut points splitting sorted ``values`` into equal-count runs.
+
+    The cuts are sample quantiles; duplicates are allowed (heavily skewed
+    samples can repeat a cut, producing empty middle partitions — the same
+    degradation real sampled partitioners exhibit).
+    """
+    if k < 1:
+        raise ValueError("cut count k must be at least 1")
+    ordered = sorted(values)
+    if not ordered or k == 1:
+        return []
+    return [ordered[i * len(ordered) // k] for i in range(1, k)]
+
+
+def bucket_of(cuts: Sequence[float], value: float) -> int:
+    """Index of the bucket ``value`` falls into given sorted cut points.
+
+    Half-open convention: bucket ``i`` covers ``[cuts[i-1], cuts[i])`` with
+    the outer buckets unbounded, so assignment is total.
+    """
+    return bisect_right(cuts, value)
+
+
+def buckets_overlapping(cuts: Sequence[float], lo: float, hi: float) -> range:
+    """Indices of all buckets overlapped by the closed interval [lo, hi]."""
+    first = bisect_right(cuts, lo)
+    last = bisect_right(cuts, hi)
+    # A closed interval touching a cut exactly also overlaps the bucket
+    # below the cut (cuts themselves belong to the upper bucket).
+    if first > 0 and lo == cuts[first - 1]:
+        first -= 1
+    return range(first, last + 1)
+
+
+def bucket_interval(cuts: Sequence[float], index: int) -> tuple[float, float]:
+    """The (lo, hi) extent of a bucket, using UNBOUNDED at the edges."""
+    lo = cuts[index - 1] if index > 0 else -UNBOUNDED
+    hi = cuts[index] if index < len(cuts) else UNBOUNDED
+    return (lo, hi)
+
+
+class Str2D:
+    """A fitted 2-d sort-tile-recursive tiling.
+
+    Implements the STR packing of Leutenegger et al.: points are split into
+    ``ceil(sqrt(n))`` equal-count slabs along x, and each slab into rows
+    along y.  The tiling covers the whole plane (outer cells stretch to
+    UNBOUNDED) so assignment is total.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]], n: int):
+        if n < 1:
+            raise ValueError("target partition count must be positive")
+        if not points:
+            raise ValueError("cannot fit STR tiling on an empty sample")
+        import math
+
+        kx = max(1, math.ceil(math.sqrt(n)))
+        ky = max(1, math.ceil(n / kx))
+        self.x_cuts = equal_count_cuts([p[0] for p in points], kx)
+        xs_sorted = sorted(points, key=lambda p: p[0])
+        self.y_cuts_per_slab: list[list[float]] = []
+        slab_count = len(self.x_cuts) + 1
+        # Re-derive slab membership from the cuts (not from even slicing) so
+        # assignment and fitting agree exactly at duplicated cut values.
+        slabs: list[list[float]] = [[] for _ in range(slab_count)]
+        for x, y in xs_sorted:
+            slabs[bucket_of(self.x_cuts, x)].append(y)
+        for slab_ys in slabs:
+            if slab_ys:
+                self.y_cuts_per_slab.append(equal_count_cuts(slab_ys, ky))
+            else:
+                self.y_cuts_per_slab.append([])
+        self._offsets = [0]
+        for cuts in self.y_cuts_per_slab:
+            self._offsets.append(self._offsets[-1] + len(cuts) + 1)
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of tiling cells."""
+        return self._offsets[-1]
+
+    def cell_of(self, x: float, y: float) -> int:
+        """Cell index containing the point (total over the plane)."""
+        slab = bucket_of(self.x_cuts, x)
+        row = bucket_of(self.y_cuts_per_slab[slab], y)
+        return self._offsets[slab] + row
+
+    def cells_overlapping(self, env: Envelope) -> list[int]:
+        """All cell indices overlapped by the envelope."""
+        cells = []
+        for slab in buckets_overlapping(self.x_cuts, env.min_x, env.max_x):
+            y_cuts = self.y_cuts_per_slab[slab]
+            for row in buckets_overlapping(y_cuts, env.min_y, env.max_y):
+                cells.append(self._offsets[slab] + row)
+        return cells
+
+    def cell_envelope(self, cell: int) -> Envelope:
+        """The cell's rectangle (UNBOUNDED at outer edges)."""
+        if not 0 <= cell < self.cell_count:
+            raise IndexError(f"cell {cell} out of range")
+        slab = 0
+        while self._offsets[slab + 1] <= cell:
+            slab += 1
+        row = cell - self._offsets[slab]
+        x_lo, x_hi = bucket_interval(self.x_cuts, slab)
+        y_lo, y_hi = bucket_interval(self.y_cuts_per_slab[slab], row)
+        return Envelope(x_lo, y_lo, x_hi, y_hi)

@@ -1,0 +1,242 @@
+"""Partitioned on-disk datasets with metadata-pruned loading."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.context import EngineContext
+from repro.engine.rdd import RDD
+from repro.geometry.envelope import Envelope
+from repro.index.boxes import STBox
+from repro.instances.base import Instance
+from repro.stio.formats import decode_record, encode_record
+from repro.stio.metadata import DatasetMetadata, PartitionMeta
+from repro.temporal.duration import Duration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.partitioners.base import STPartitioner
+
+
+@dataclass
+class LoadStats:
+    """I/O accounting for one load — the currency of Figure 5.
+
+    ``partitions_total`` vs ``partitions_read`` is the pruning ratio;
+    ``records_loaded`` is what Figure 5c/d plot as "memory loaded".
+    """
+
+    partitions_total: int = 0
+    partitions_read: int = 0
+    records_loaded: int = 0
+    bytes_read: int = 0
+    files: list[str] = field(default_factory=list)
+
+
+class _DiskPartitionRDD(RDD):
+    """Source RDD whose partitions deserialize lazily from block files."""
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        directory: Path,
+        metas: list[PartitionMeta],
+        stats: LoadStats,
+    ):
+        super().__init__(ctx, max(1, len(metas)))
+        self._directory = directory
+        self._metas = metas
+        self._stats = stats
+
+    def _compute(self, split: int) -> list:
+        if not self._metas:
+            return []
+        meta = self._metas[split]
+        path = self._directory / meta.filename
+        raw = path.read_bytes()
+        records = pickle.loads(raw)
+        self._stats.partitions_read += 1
+        self._stats.records_loaded += len(records)
+        self._stats.bytes_read += len(raw)
+        self._stats.files.append(meta.filename)
+        return [decode_record(r) for r in records]
+
+
+class StDataset:
+    """A directory holding one block file per partition + ``metadata.json``.
+
+    This is the engine-facing face of Section 4.1: :meth:`write` persists a
+    partitioned layout with its boundaries, :meth:`read` returns a lazy RDD
+    over only the partitions surviving metadata pruning.
+    """
+
+    BLOCK_PATTERN = "part-{:05d}.pkl"
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    # -- writing ------------------------------------------------------------------
+
+    @classmethod
+    def write(
+        cls,
+        directory: str | Path,
+        partitions: Sequence[Sequence[Instance]],
+        instance_type: str,
+        boundaries: Sequence[STBox] | None = None,
+    ) -> "StDataset":
+        """Persist partition lists and build the metadata index.
+
+        Per-partition bounds recorded in the metadata are the MBRs of the
+        *actual* records (tight pruning); ``boundaries`` — the theoretical
+        partitioner cells — are accepted for API parity but only used for
+        partitions that hold no records.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        metas = []
+        for i, records in enumerate(partitions):
+            filename = cls.BLOCK_PATTERN.format(i)
+            encoded = [encode_record(r) for r in records]
+            (directory / filename).write_bytes(
+                pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            if records:
+                bounds = STBox.merge_all([r.st_box() for r in records])
+            elif boundaries is not None and i < len(boundaries):
+                bounds = boundaries[i]
+            else:
+                bounds = STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+            metas.append(PartitionMeta(filename=filename, count=len(records), bounds=bounds))
+        DatasetMetadata(instance_type=instance_type, partitions=metas).save(directory)
+        return cls(directory)
+
+    @classmethod
+    def write_rdd(
+        cls,
+        directory: str | Path,
+        rdd: RDD,
+        instance_type: str,
+        partitioner: "STPartitioner | None" = None,
+        sample_fraction: float = 0.1,
+    ) -> "StDataset":
+        """Optionally ST-partition an RDD, then persist it.
+
+        This is the offline index-generation step: ``TSTRPartitioner`` +
+        ``write_rdd`` together implement the ``stPartitionWithInfo`` /
+        ``toDisk`` code of Section 4.1.
+        """
+        boundaries = None
+        if partitioner is not None:
+            rdd, boundaries = partitioner.partition_with_info(
+                rdd, sample_fraction=sample_fraction
+            )
+        return cls.write(
+            directory, rdd._collect_partitions(), instance_type, boundaries
+        )
+
+    def append(
+        self,
+        partitions: Sequence[Sequence[Instance]],
+        boundaries: Sequence[STBox] | None = None,
+    ) -> "StDataset":
+        """Add a newly indexed batch to an existing dataset.
+
+        The periodic-indexing workflow of Section 4.1's discussion:
+        "application programmers may periodically index the new group of
+        data and merge the metadata file with the existing ones."  New
+        block files continue the existing numbering; the metadata files
+        are merged.
+        """
+        existing = self.metadata()
+        offset = len(existing.partitions)
+        new_metas = []
+        for i, records in enumerate(partitions):
+            filename = self.BLOCK_PATTERN.format(offset + i)
+            encoded = [encode_record(r) for r in records]
+            (self.directory / filename).write_bytes(
+                pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            if records:
+                bounds = STBox.merge_all([r.st_box() for r in records])
+            elif boundaries is not None and i < len(boundaries):
+                bounds = boundaries[i]
+            else:
+                bounds = STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+            new_metas.append(
+                PartitionMeta(filename=filename, count=len(records), bounds=bounds)
+            )
+        merged = existing.merged_with(
+            DatasetMetadata(instance_type=existing.instance_type, partitions=new_metas)
+        )
+        merged.save(self.directory)
+        return self
+
+    def append_rdd(
+        self,
+        rdd: RDD,
+        partitioner: "STPartitioner | None" = None,
+        sample_fraction: float = 0.1,
+    ) -> "StDataset":
+        """Partition (optionally) and append an RDD batch; see :meth:`append`."""
+        boundaries = None
+        if partitioner is not None:
+            rdd, boundaries = partitioner.partition_with_info(
+                rdd, sample_fraction=sample_fraction
+            )
+        return self.append(rdd._collect_partitions(), boundaries)
+
+    # -- reading -------------------------------------------------------------------
+
+    def metadata(self) -> DatasetMetadata:
+        """Load the dataset's metadata file."""
+        return DatasetMetadata.load(self.directory)
+
+    def read(
+        self,
+        ctx: EngineContext,
+        spatial: Envelope | None = None,
+        temporal: Duration | None = None,
+        use_metadata: bool = True,
+    ) -> tuple[RDD, LoadStats]:
+        """A lazy RDD over the partitions that may contain matching data.
+
+        ``use_metadata=False`` loads everything — the "native Spark" mode
+        Figure 5 compares against.  The returned RDD still needs in-memory
+        fine-grained filtering (step (3) of Figure 4); the Selector does
+        that with per-partition R-trees.
+        """
+        meta = self.metadata()
+        if use_metadata:
+            selected = meta.select_partitions(spatial, temporal)
+        else:
+            selected = list(meta.partitions)
+        stats = LoadStats(partitions_total=len(meta.partitions))
+        return _DiskPartitionRDD(ctx, self.directory, selected, stats), stats
+
+
+def save_dataset(
+    directory: str | Path,
+    instances: Sequence[Instance],
+    instance_type: str,
+    partitioner: "STPartitioner | None" = None,
+    num_partitions: int = 8,
+    ctx: EngineContext | None = None,
+) -> StDataset:
+    """Convenience writer from a plain instance list."""
+    own_ctx = ctx or EngineContext(default_parallelism=num_partitions)
+    rdd = own_ctx.parallelize(instances, num_partitions)
+    return StDataset.write_rdd(directory, rdd, instance_type, partitioner)
+
+
+def load_dataset(
+    ctx: EngineContext,
+    directory: str | Path,
+    spatial: Envelope | None = None,
+    temporal: Duration | None = None,
+    use_metadata: bool = True,
+) -> tuple[RDD, LoadStats]:
+    """Convenience reader; see :meth:`StDataset.read`."""
+    return StDataset(directory).read(ctx, spatial, temporal, use_metadata)

@@ -1,0 +1,138 @@
+"""The persistent metadata index over partition files."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.geometry.envelope import Envelope
+from repro.index.boxes import STBox
+from repro.temporal.duration import Duration
+
+METADATA_FILENAME = "metadata.json"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PartitionMeta:
+    """One partition's entry in the metadata file.
+
+    ``bounds`` is the ST MBR of the partition's *actual contents* (not the
+    partitioner's theoretical cell): tight MBRs prune better, and they are
+    what the paper's Figure 4 depicts being compared against the query
+    range.
+    """
+
+    filename: str
+    count: int
+    bounds: STBox
+
+    def overlaps(self, spatial: Envelope | None, temporal: Duration | None) -> bool:
+        """Does this partition possibly contain data in the query range?
+
+        ``None`` for either dimension means "unconstrained".
+        """
+        if self.count == 0:
+            return False
+        if spatial is not None:
+            part_env = Envelope(
+                self.bounds.mins[0],
+                self.bounds.mins[1],
+                self.bounds.maxs[0],
+                self.bounds.maxs[1],
+            )
+            if not part_env.intersects_envelope(spatial):
+                return False
+        if temporal is not None:
+            part_dur = Duration(self.bounds.mins[2], self.bounds.maxs[2])
+            if not part_dur.intersects(temporal):
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return {
+            "filename": self.filename,
+            "count": self.count,
+            "mins": list(self.bounds.mins),
+            "maxs": list(self.bounds.maxs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PartitionMeta":
+        """Inverse of to_dict."""
+        return cls(
+            filename=d["filename"],
+            count=int(d["count"]),
+            bounds=STBox(d["mins"], d["maxs"]),
+        )
+
+
+@dataclass
+class DatasetMetadata:
+    """The whole metadata file: format info + per-partition boundaries."""
+
+    instance_type: str
+    partitions: list[PartitionMeta]
+    version: int = FORMAT_VERSION
+
+    @property
+    def total_records(self) -> int:
+        """Sum of all partition record counts."""
+        return sum(p.count for p in self.partitions)
+
+    def select_partitions(
+        self,
+        spatial: Envelope | None = None,
+        temporal: Duration | None = None,
+    ) -> list[PartitionMeta]:
+        """Step (1) of Figure 4: shortlist partitions overlapping the query."""
+        return [p for p in self.partitions if p.overlaps(spatial, temporal)]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Write to the dataset directory; returns the file path."""
+        path = Path(directory) / METADATA_FILENAME
+        payload = {
+            "version": self.version,
+            "instance_type": self.instance_type,
+            "partitions": [p.to_dict() for p in self.partitions],
+        }
+        path.write_text(json.dumps(payload, indent=1))
+        return path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "DatasetMetadata":
+        """Read and validate from the dataset directory."""
+        path = Path(directory) / METADATA_FILENAME
+        if not path.exists():
+            raise FileNotFoundError(f"no metadata file at {path}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupted metadata file {path}: {exc}") from exc
+        for key in ("version", "instance_type", "partitions"):
+            if key not in payload:
+                raise ValueError(f"metadata file {path} is missing key {key!r}")
+        if payload["version"] > FORMAT_VERSION:
+            raise ValueError(
+                f"metadata format {payload['version']} is newer than supported "
+                f"({FORMAT_VERSION})"
+            )
+        return cls(
+            instance_type=payload["instance_type"],
+            partitions=[PartitionMeta.from_dict(d) for d in payload["partitions"]],
+            version=payload["version"],
+        )
+
+    def merged_with(self, other: "DatasetMetadata") -> "DatasetMetadata":
+        """Merge metadata of a newly indexed batch into an existing file —
+        the periodic-append workflow of Section 4.1's discussion point (2)."""
+        if other.instance_type != self.instance_type:
+            raise ValueError("cannot merge metadata of different instance types")
+        return DatasetMetadata(
+            instance_type=self.instance_type,
+            partitions=self.partitions + other.partitions,
+        )

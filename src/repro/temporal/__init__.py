@@ -1,0 +1,13 @@
+"""Temporal substrate: durations, instants, and window helpers.
+
+ST4ML's ``Entry`` couples a geometry with a ``Duration``; the temporal
+dimension is a first-class citizen of every index, partitioner, and
+converter in the system.  Timestamps are Unix epoch seconds stored as
+floats, which matches the second-granularity sampling of the paper's
+datasets while staying trivially serializable.
+"""
+
+from repro.temporal.duration import Duration
+from repro.temporal.windows import sliding_windows, tumbling_windows
+
+__all__ = ["Duration", "sliding_windows", "tumbling_windows"]

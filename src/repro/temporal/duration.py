@@ -1,0 +1,156 @@
+"""Closed time intervals."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class Duration:
+    """A closed interval ``[start, end]`` of Unix epoch seconds.
+
+    An *instant* is the special case ``start == end`` — the paper models
+    event timestamps this way.  Durations are immutable value objects, and
+    intersection follows the same closed-boundary convention as
+    :class:`repro.geometry.Envelope` so the 3-d (x, y, t) semantics are
+    uniform across dimensions.
+    """
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: float | None = None):
+        if end is None:
+            end = start
+        if math.isnan(start) or math.isnan(end):
+            raise ValueError("duration endpoints must not be NaN")
+        if start > end:
+            raise ValueError(f"invalid duration: start {start} > end {end}")
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "end", float(end))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Duration is immutable")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def instant(cls, t: float) -> "Duration":
+        """A zero-length duration at time ``t``."""
+        return cls(t, t)
+
+    @classmethod
+    def merge_all(cls, durations: Iterable["Duration"]) -> "Duration":
+        """The smallest duration covering every input."""
+        iterator = iter(durations)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot merge zero durations") from None
+        start, end = first.start, first.end
+        for d in iterator:
+            start = min(start, d.start)
+            end = max(end, d.end)
+        return cls(start, end)
+
+    # -- predicates -------------------------------------------------------------
+
+    @property
+    def is_instant(self) -> bool:
+        """True when start == end."""
+        return self.start == self.end
+
+    @property
+    def length(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+    @property
+    def center(self) -> float:
+        """Per-dimension midpoint."""
+        return (self.start + self.end) / 2.0
+
+    def contains(self, t: float) -> bool:
+        """True when the other box lies fully inside."""
+        return self.start <= t <= self.end
+
+    def contains_duration(self, other: "Duration") -> bool:
+        """True when the other interval lies fully inside."""
+        return self.start <= other.start and self.end >= other.end
+
+    def intersects(self, other: "Duration") -> bool:
+        """True when the two geometries share any point."""
+        return not (other.start > self.end or other.end < self.start)
+
+    def intersection(self, other: "Duration") -> "Duration | None":
+        """Overlap interval, or None when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start > end:
+            return None
+        return Duration(start, end)
+
+    def distance_to(self, other: "Duration") -> float:
+        """Gap in seconds between the two intervals; 0 when they overlap."""
+        if self.intersects(other):
+            return 0.0
+        return max(other.start - self.end, self.start - other.end)
+
+    # -- manipulation -------------------------------------------------------------
+
+    def merge(self, other: "Duration") -> "Duration":
+        """Smallest object covering both operands."""
+        return Duration(min(self.start, other.start), max(self.end, other.end))
+
+    def shifted(self, seconds: float) -> "Duration":
+        """Copy translated by ``seconds``."""
+        return Duration(self.start + seconds, self.end + seconds)
+
+    def expanded(self, margin: float) -> "Duration":
+        """Copy grown by ``margin`` on both ends."""
+        return Duration(self.start - margin, self.end + margin)
+
+    def split(self, n: int) -> list["Duration"]:
+        """Tile this duration into ``n`` equal consecutive slots."""
+        if n <= 0:
+            raise ValueError("slot count must be positive")
+        step = self.length / n
+        return [
+            Duration(self.start + i * step, self.start + (i + 1) * step)
+            for i in range(n)
+        ]
+
+    def hour_of_day(self) -> float:
+        """Hour-of-day of the interval center, in ``[0, 24)``.
+
+        Used by the anomaly extractor ("events occurring 23:00-04:00").
+        """
+        return (self.center % 86_400.0) / 3_600.0
+
+    def day_index(self) -> int:
+        """Whole days elapsed since the epoch at the interval center."""
+        return int(self.center // 86_400.0)
+
+    # -- value semantics ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __lt__(self, other: "Duration") -> bool:
+        return (self.start, self.end) < (other.start, other.end)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        if self.is_instant:
+            return f"Duration.instant({self.start})"
+        return f"Duration({self.start}, {self.end})"
+
+    def __getstate__(self):
+        return (self.start, self.end)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "start", state[0])
+        object.__setattr__(self, "end", state[1])

@@ -1,0 +1,47 @@
+"""Window helpers over durations.
+
+These back the ``temporalSliding``-style convenience functions the paper
+offers to application programmers (Section 3.3, "Native Spark operations").
+"""
+
+from __future__ import annotations
+
+from repro.temporal.duration import Duration
+
+
+def tumbling_windows(extent: Duration, size: float) -> list[Duration]:
+    """Cover ``extent`` with consecutive non-overlapping windows of ``size``.
+
+    The final window is truncated to the extent's end so the union of the
+    returned windows equals the extent exactly — converters rely on this to
+    guarantee every record lands in some slot.
+    """
+    if size <= 0:
+        raise ValueError("window size must be positive")
+    windows = []
+    t = extent.start
+    while t < extent.end:
+        windows.append(Duration(t, min(t + size, extent.end)))
+        t += size
+    if not windows:
+        # Zero-length extent still deserves one instant window.
+        windows.append(Duration(extent.start, extent.end))
+    return windows
+
+
+def sliding_windows(extent: Duration, size: float, step: float) -> list[Duration]:
+    """Overlapping windows of ``size`` advancing by ``step``.
+
+    Unlike tumbling windows, sliding windows may extend past the extent's
+    end; callers that need clipping intersect with ``extent`` themselves.
+    """
+    if size <= 0 or step <= 0:
+        raise ValueError("window size and step must be positive")
+    windows = []
+    t = extent.start
+    while t < extent.end:
+        windows.append(Duration(t, t + size))
+        t += step
+    if not windows:
+        windows.append(Duration(extent.start, extent.start + size))
+    return windows

@@ -1,0 +1,133 @@
+"""Text rendering of extracted features.
+
+The paper's Figure 10 visualizes derived road flows on a map.  This
+module provides dependency-free text renderings for quick inspection of
+extracted collective features: grid heatmaps for regular spatial maps and
+rasters, sparklines for time series, and a network-flow digest.
+
+All renderers return strings (callers decide whether to print), use a
+fixed glyph ramp, and treat ``None`` cells as missing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.instances.raster import Raster
+from repro.instances.spatialmap import SpatialMap
+from repro.instances.timeseries import TimeSeries
+
+#: Density ramp from empty to full.
+RAMP = " .:-=+*#%@"
+MISSING = "·"
+
+
+def _glyph(value: float | None, lo: float, hi: float) -> str:
+    if value is None:
+        return MISSING
+    if hi <= lo:
+        return RAMP[-1] if value > 0 else RAMP[0]
+    frac = (value - lo) / (hi - lo)
+    index = min(len(RAMP) - 1, max(0, int(frac * (len(RAMP) - 1) + 0.5)))
+    return RAMP[index]
+
+
+def _bounds(values: Sequence[float | None]) -> tuple[float, float]:
+    present = [v for v in values if v is not None]
+    if not present:
+        return (0.0, 0.0)
+    return (min(present), max(present))
+
+
+def render_grid(
+    values: Sequence[float | None],
+    nx: int,
+    ny: int,
+    title: str = "",
+) -> str:
+    """Heatmap of a row-major regular grid, northmost row on top."""
+    if len(values) != nx * ny:
+        raise ValueError(f"{len(values)} values cannot fill a {nx}x{ny} grid")
+    lo, hi = _bounds(values)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(ny - 1, -1, -1):  # y grows north; print north first
+        lines.append(
+            "".join(_glyph(values[row * nx + col], lo, hi) for col in range(nx))
+        )
+    lines.append(f"[{lo:.3g} '{RAMP[0]}' .. '{RAMP[-1]}' {hi:.3g}; '{MISSING}' missing]")
+    return "\n".join(lines)
+
+
+def render_spatial_map(
+    sm: SpatialMap,
+    nx: int,
+    ny: int,
+    value_of: Callable[[object], float | None] = lambda v: v,
+    title: str = "",
+) -> str:
+    """Heatmap of a regular spatial map's cell values."""
+    return render_grid([value_of(v) for v in sm.cell_values()], nx, ny, title)
+
+
+def render_raster_slice(
+    raster: Raster,
+    nx: int,
+    ny: int,
+    nt: int,
+    t_index: int,
+    value_of: Callable[[object], float | None] = lambda v: v,
+    title: str = "",
+) -> str:
+    """Heatmap of one temporal slice of a regular raster."""
+    if not 0 <= t_index < nt:
+        raise ValueError(f"t_index {t_index} out of range for nt={nt}")
+    values = raster.cell_values()
+    if len(values) != nx * ny * nt:
+        raise ValueError(f"raster has {len(values)} cells, expected {nx * ny * nt}")
+    slice_values = [value_of(values[cell * nt + t_index]) for cell in range(nx * ny)]
+    label = title or f"t={t_index}"
+    return render_grid(slice_values, nx, ny, label)
+
+
+def render_time_series(
+    ts: TimeSeries,
+    value_of: Callable[[object], float | None] = lambda v: v,
+    width: int | None = None,
+    title: str = "",
+) -> str:
+    """One-line sparkline of a time series."""
+    values = [value_of(v) for v in ts.cell_values()]
+    if width is not None and len(values) > width:
+        # Downsample by averaging consecutive buckets.
+        bucket = len(values) / width
+        compacted = []
+        for i in range(width):
+            chunk = [
+                v for v in values[int(i * bucket) : int((i + 1) * bucket)] if v is not None
+            ]
+            compacted.append(sum(chunk) / len(chunk) if chunk else None)
+        values = compacted
+    lo, hi = _bounds(values)
+    line = "".join(_glyph(v, lo, hi) for v in values)
+    prefix = f"{title} " if title else ""
+    return f"{prefix}[{line}] min={lo:.3g} max={hi:.3g}"
+
+
+def render_flow_digest(
+    flows: dict[tuple[int, int], int],
+    n_hours: int = 24,
+    bar_width: int = 40,
+) -> str:
+    """Hour-by-hour network flow bars (the Figure 10 temporal pattern)."""
+    per_hour = [0] * n_hours
+    for (_, hour), count in flows.items():
+        if 0 <= hour < n_hours:
+            per_hour[hour] += count
+    peak = max(per_hour) if any(per_hour) else 1
+    lines = ["hour  network flow"]
+    for hour, total in enumerate(per_hour):
+        bar = "#" * int(bar_width * total / peak)
+        lines.append(f"{hour:4d}  {bar} {total}")
+    return "\n".join(lines)

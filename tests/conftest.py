@@ -1,0 +1,57 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.instances import Event, Trajectory
+
+
+@pytest.fixture
+def ctx() -> EngineContext:
+    return EngineContext(default_parallelism=4)
+
+
+def make_events(n: int, seed: int = 7, extent: float = 10.0, t_extent: float = 86_400.0):
+    """Uniform point events over [0, extent]^2 x [0, t_extent]."""
+    rng = random.Random(seed)
+    return [
+        Event.of_point(
+            rng.uniform(0.0, extent),
+            rng.uniform(0.0, extent),
+            rng.uniform(0.0, t_extent),
+            data=i,
+        )
+        for i in range(n)
+    ]
+
+
+def make_trajectories(n: int, seed: int = 7, points: int = 10, extent: float = 10.0):
+    """Random-walk trajectories inside [0, extent]^2, 15 s sampling."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x = rng.uniform(0.5, extent - 0.5)
+        y = rng.uniform(0.5, extent - 0.5)
+        t = rng.uniform(0.0, 80_000.0)
+        pts = []
+        for _ in range(points):
+            pts.append((x, y, t))
+            x = min(max(x + rng.uniform(-0.05, 0.05), 0.0), extent)
+            y = min(max(y + rng.uniform(-0.05, 0.05), 0.0), extent)
+            t += 15.0
+        out.append(Trajectory.of_points(pts, data=f"traj-{i}"))
+    return out
+
+
+@pytest.fixture
+def events():
+    return make_events(300)
+
+
+@pytest.fixture
+def trajectories():
+    return make_trajectories(40)

@@ -1,0 +1,70 @@
+"""InstanceRDD (Table 4 extension API) tests."""
+
+import pytest
+
+from repro.core import InstanceRDD
+from repro.engine import EngineContext
+from repro.instances import TimeSeries
+from repro.temporal import Duration
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=2)
+
+
+@pytest.fixture
+def crdd(ctx):
+    """Two partial time series over the same 3-slot structure."""
+    base = TimeSeries.regular(Duration(0, 30), 10.0)
+    a = base.with_cell_values([[1], [2, 2], []])
+    b = base.with_cell_values([[10], [], [30]])
+    return InstanceRDD(ctx.parallelize([a, b], 2))
+
+
+class TestMapOperators:
+    def test_map_value(self, crdd):
+        out = crdd.map_value(len)
+        values = [inst.cell_values() for inst in out.collect()]
+        assert values == [[1, 2, 0], [1, 0, 1]]
+
+    def test_map_value_plus_receives_bounds(self, crdd):
+        out = crdd.map_value_plus(lambda v, s, t: (len(v), t.start))
+        first = out.collect()[0].cell_values()
+        assert first == [(1, 0.0), (2, 10.0), (0, 20.0)]
+
+    def test_map_data(self, ctx):
+        ts = TimeSeries.regular(Duration(0, 10), 5.0, data=3)
+        out = InstanceRDD(ctx.parallelize([ts], 1)).map_data(lambda d: d * 7)
+        assert out.collect()[0].data == 21
+
+    def test_map_data_plus(self, crdd):
+        out = crdd.map_data_plus(lambda d, spatials, temporals: len(temporals))
+        assert [inst.data for inst in out.collect()] == [3, 3]
+
+    def test_operators_chain(self, crdd):
+        out = crdd.map_value(len).map_value(lambda n: n * 10)
+        assert out.collect()[0].cell_values() == [10, 20, 0]
+
+
+class TestCollectAndMerge:
+    def test_concatenation(self, crdd):
+        merged = crdd.collect_and_merge([], lambda acc, v: acc + v)
+        assert sorted(merged) == [1, 2, 2, 10, 30]
+
+    def test_numeric_fold(self, crdd):
+        total = crdd.map_value(len).collect_and_merge(0, lambda acc, v: acc + v)
+        assert total == 5
+
+    def test_merge_instances(self, crdd):
+        merged = crdd.merge_instances(lambda a, b: a + b)
+        assert merged.cell_values() == [[1, 10], [2, 2], [30]]
+
+
+class TestDelegation:
+    def test_rdd_methods_pass_through(self, crdd):
+        assert crdd.count() == 2
+        assert crdd.num_partitions == 2
+
+    def test_repr(self, crdd):
+        assert "InstanceRDD" in repr(crdd)

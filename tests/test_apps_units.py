@@ -1,0 +1,120 @@
+"""Unit tests for the apps package plumbing."""
+
+import pytest
+
+from repro.apps.common import canonical_id, canonical_key, group_count, naive_cell_scan
+from repro.apps.air_road import AirQualityExtractor, build_structure
+from repro.apps.case_road_flow import _segment_path, flow_summary
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Event, Trajectory
+from repro.mapmatching import RoadNetwork
+from repro.temporal import Duration
+
+
+class TestCanonicalIdentity:
+    def test_native_int_and_repr_string_agree(self):
+        native = Event.of_point(0, 0, 0, data=42)
+        baseline = Event.of_point(0, 0, 0, data="42")  # repr round-trip
+        assert canonical_id(native) == canonical_id(baseline) == "42"
+
+    def test_native_str_and_quoted_repr_agree(self):
+        native = Event.of_point(0, 0, 0, data="trip-1")
+        baseline = Event.of_point(0, 0, 0, data="'trip-1'")
+        assert canonical_id(native) == canonical_id(baseline) == "'trip-1'"
+
+    def test_canonical_key(self):
+        assert canonical_key(7) == "7"
+        assert canonical_key("7") == "7"
+        assert canonical_key("'x'") == "'x'"
+        assert canonical_key("x") == "'x'"
+
+
+class TestNaiveCellScan:
+    def test_scan_matches_structure(self):
+        cells = [(Envelope(0, 0, 1, 1), None), (Envelope(1, 0, 2, 1), None)]
+        ev = Event.of_point(0.5, 0.5, 0)
+        assert naive_cell_scan(cells, ev) == [0]
+
+    def test_temporal_cells(self):
+        cells = [(None, Duration(0, 10)), (None, Duration(10, 20))]
+        ev = Event.of_point(0, 0, 5)
+        assert naive_cell_scan(cells, ev) == [0]
+        boundary = Event.of_point(0, 0, 10)
+        assert naive_cell_scan(cells, boundary) == [0, 1]
+
+    def test_group_count(self):
+        ctx = EngineContext(2)
+        rdd = ctx.parallelize([0, 1, 2, 3, 4], 2)
+        counts = group_count(rdd, lambda x: [x % 2], 2)
+        assert counts == [3, 2]
+
+
+class TestAirQualityExtractor:
+    def test_mean_over_records(self):
+        ex = AirQualityExtractor()
+        events = [
+            Event.of_point(0, 0, 0, value={"pm25": 10.0, "no2": 4.0}),
+            Event.of_point(0, 0, 0, value={"pm25": 30.0, "no2": 8.0}),
+        ]
+        partial = ex.local(events, None, None)
+        result = ex.finalize(partial)
+        assert result == {"no2": 6.0, "pm25": 20.0}
+
+    def test_merge_then_finalize(self):
+        ex = AirQualityExtractor()
+        a = ex.local([Event.of_point(0, 0, 0, value={"pm25": 10.0})], None, None)
+        b = ex.local([Event.of_point(0, 0, 0, value={"pm25": 20.0})], None, None)
+        assert ex.finalize(ex.merge(a, b)) == {"pm25": 15.0}
+
+    def test_empty_cell_is_none(self):
+        ex = AirQualityExtractor()
+        assert ex.finalize(ex.local([], None, None)) is None
+
+    def test_build_structure_cells(self):
+        net = RoadNetwork.grid(0.0, 0.0, 2, 2, spacing_degrees=1.0)
+        structure = build_structure(net, Duration(0, 2 * 86_400.0))
+        assert structure.n_cells == net.n_segments * 2
+
+
+class TestRoadFlowHelpers:
+    @pytest.fixture
+    def net(self):
+        return RoadNetwork.grid(0.0, 0.0, 3, 3, spacing_degrees=0.01)
+
+    def test_segment_path_same_segment(self, net):
+        assert _segment_path(net, 0, 0) == [0]
+
+    def test_segment_path_connects(self, net):
+        # Any two segments in a connected bidirectional grid have a path.
+        path = _segment_path(net, net.segments[0].segment_id, net.segments[-1].segment_id)
+        assert path[0] == net.segments[0].segment_id
+        assert path[-1] == net.segments[-1].segment_id
+        # Consecutive path segments must share a junction.
+        for a, b in zip(path, path[1:]):
+            assert net.segment(a).to_node == net.segment(b).from_node
+
+    def test_flow_summary(self):
+        flows = {(1, 8): 3, (2, 8): 1, (1, 9): 2}
+        summary = flow_summary(flows)
+        assert summary["segments_covered"] == 2
+        assert summary["total_flow"] == 6
+        assert summary["peak_hour"] == 8
+
+    def test_flow_summary_empty(self):
+        assert flow_summary({})["peak_hour"] is None
+
+
+class TestTrajectorySubtleties:
+    def test_baseline_trajectory_predicate_matches_st4ml(self):
+        """The selection predicate must agree between the ST4ML instance
+        and the baseline round-trip of the same trajectory."""
+        from repro.baselines import geo_record_to_instance, instance_to_geo_record
+
+        traj = Trajectory.of_points([(0, 0, 0), (5, 5, 100), (9, 9, 200)], data="t")
+        round_tripped = geo_record_to_instance(instance_to_geo_record(traj))
+        spatial = Envelope(4, 4, 6, 6)
+        temporal = Duration(50, 150)
+        assert traj.intersects(spatial, temporal) == round_tripped.intersects(
+            spatial, temporal
+        )

@@ -1,0 +1,133 @@
+"""Baseline system tests: record codec, selection correctness, cost shape."""
+
+import pytest
+
+from repro.baselines import (
+    GeoMesaLike,
+    GeoSparkLike,
+    format_timestamp,
+    geo_record_to_instance,
+    instance_to_geo_record,
+    parse_timestamp,
+)
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Event, TimeSeries, Trajectory
+from repro.temporal import Duration
+from tests.conftest import make_events, make_trajectories
+
+SPATIAL = Envelope(2, 2, 7, 7)
+TEMPORAL = Duration(10_000, 50_000)
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=4)
+
+
+class TestTimestampStrings:
+    def test_roundtrip(self):
+        for t in (0.0, 1356998400.0, 1374737584.25):
+            assert parse_timestamp(format_timestamp(t)) == pytest.approx(t, abs=1e-6)
+
+    def test_format_shape(self):
+        s = format_timestamp(1356998400.0)
+        assert s.startswith("2013-01-01 00:00:00")
+
+
+class TestGeoRecords:
+    def test_event_roundtrip_preserves_st(self):
+        ev = Event.of_point(1.5, 2.5, 1000.5, value="aux", data=7)
+        back = geo_record_to_instance(instance_to_geo_record(ev))
+        assert back.spatial == ev.spatial
+        assert back.temporal.start == pytest.approx(1000.5, abs=1e-6)
+        # Identity survives only as a repr string (the baselines' cost).
+        assert back.data == "7"
+
+    def test_trajectory_roundtrip(self):
+        traj = Trajectory.of_points([(0, 0, 0), (1, 1, 15)], data="t")
+        back = geo_record_to_instance(instance_to_geo_record(traj))
+        assert isinstance(back, Trajectory)
+        assert len(back.entries) == 2
+        assert back.data == "'t'"
+
+    def test_collective_rejected(self):
+        with pytest.raises(TypeError):
+            instance_to_geo_record(TimeSeries.regular(Duration(0, 1), 1.0))
+
+
+def _expected_ids(instances):
+    return sorted(
+        repr(inst.data)
+        for inst in instances
+        if inst.intersects(SPATIAL, TEMPORAL)
+    )
+
+
+class TestGeoSparkLike:
+    def test_selection_matches_ground_truth(self, ctx, tmp_path):
+        events = make_events(400, seed=61)
+        GeoSparkLike.ingest(events, tmp_path / "gs")
+        system = GeoSparkLike()
+        out = system.select(ctx, tmp_path / "gs", SPATIAL, TEMPORAL)
+        assert sorted(ev.data for ev in out.collect()) == _expected_ids(events)
+
+    def test_loads_everything(self, ctx, tmp_path):
+        events = make_events(300, seed=62)
+        GeoSparkLike.ingest(events, tmp_path / "gs")
+        system = GeoSparkLike()
+        system.select(ctx, tmp_path / "gs", SPATIAL, TEMPORAL).count()
+        stats = system.last_load_stats
+        assert stats.records_loaded == 300  # no pruning, ever
+        assert stats.partitions_read == stats.partitions_total
+
+    def test_trajectory_selection(self, ctx, tmp_path):
+        trajs = make_trajectories(50, seed=63)
+        GeoSparkLike.ingest(trajs, tmp_path / "gs")
+        out = GeoSparkLike().select(ctx, tmp_path / "gs", SPATIAL, TEMPORAL)
+        assert sorted(t.data for t in out.collect()) == _expected_ids(trajs)
+
+
+class TestGeoMesaLike:
+    def test_selection_matches_ground_truth(self, ctx, tmp_path):
+        events = make_events(400, seed=64)
+        GeoMesaLike.ingest(events, tmp_path / "gm", block_records=64)
+        out = GeoMesaLike().select(ctx, tmp_path / "gm", SPATIAL, TEMPORAL)
+        assert sorted(ev.data for ev in out.collect()) == _expected_ids(events)
+
+    def test_prunes_blocks_on_selective_query(self, ctx, tmp_path):
+        events = make_events(1000, seed=65)
+        GeoMesaLike.ingest(events, tmp_path / "gm", block_records=64)
+        system = GeoMesaLike()
+        small = Envelope(0, 0, 1, 1)
+        system.select(ctx, tmp_path / "gm", small, None).count()
+        stats = system.last_load_stats
+        assert stats.partitions_read < stats.partitions_total
+
+    def test_prunes_more_than_geospark(self, ctx, tmp_path):
+        events = make_events(1000, seed=66)
+        GeoSparkLike.ingest(events, tmp_path / "gs")
+        GeoMesaLike.ingest(events, tmp_path / "gm", block_records=64)
+        small = Envelope(0, 0, 2, 2)
+        gs = GeoSparkLike()
+        gs.select(ctx, tmp_path / "gs", small, None).count()
+        gm = GeoMesaLike()
+        gm.select(ctx, tmp_path / "gm", small, None).count()
+        assert gm.last_load_stats.records_loaded < gs.last_load_stats.records_loaded
+
+    def test_temporal_block_pruning(self, ctx, tmp_path):
+        # Records sorted by curve key still carry block time ranges; a
+        # disjoint time query must prune everything.
+        events = [Event.of_point(1.0, 1.0, float(i), data=i) for i in range(100)]
+        GeoMesaLike.ingest(events, tmp_path / "gm", block_records=16)
+        system = GeoMesaLike()
+        out = system.select(ctx, tmp_path / "gm", None, Duration(1e6, 2e6))
+        assert out.count() == 0
+        assert system.last_load_stats.partitions_read == 0
+
+    def test_never_misses_records(self, ctx, tmp_path):
+        """XZ2 pruning may over-select but must never under-select."""
+        trajs = make_trajectories(60, seed=67)
+        GeoMesaLike.ingest(trajs, tmp_path / "gm", block_records=8)
+        out = GeoMesaLike().select(ctx, tmp_path / "gm", SPATIAL, TEMPORAL)
+        assert sorted(t.data for t in out.collect()) == _expected_ids(trajs)

@@ -1,0 +1,74 @@
+"""Checkpointing and forecast-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineContext
+from repro.ml.forecast import evaluate_forecast
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=3)
+
+
+class TestCheckpoint:
+    def test_contents_and_layout_preserved(self, ctx, tmp_path):
+        rdd = ctx.parallelize(range(100), 5).map(lambda x: x * 2)
+        restored = rdd.checkpoint(tmp_path / "ck")
+        assert restored.collect() == rdd.collect()
+        assert restored.partition_sizes() == rdd.partition_sizes()
+
+    def test_lineage_truncated(self, ctx, tmp_path):
+        calls = []
+        rdd = ctx.parallelize(range(10), 2).map(lambda x: calls.append(x) or x)
+        restored = rdd.checkpoint(tmp_path / "ck")
+        calls.clear()
+        restored.count()
+        assert calls == []  # upstream map never re-runs
+
+    def test_files_written(self, ctx, tmp_path):
+        ctx.parallelize(range(10), 4).checkpoint(tmp_path / "ck")
+        assert len(list((tmp_path / "ck").glob("checkpoint-*.pkl"))) == 4
+
+    def test_checkpoint_survives_further_transformations(self, ctx, tmp_path):
+        restored = ctx.parallelize(range(20), 2).checkpoint(tmp_path / "ck")
+        assert restored.map(lambda x: x + 1).sum() == sum(range(20)) + 20
+
+
+class TestEvaluateForecast:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 4.0])
+        m = evaluate_forecast(y, y)
+        assert m["rmse"] == 0.0
+        assert m["mae"] == 0.0
+        assert m["mape"] == 0.0
+
+    def test_known_errors(self):
+        y_true = np.array([10.0, 10.0])
+        y_pred = np.array([12.0, 8.0])
+        m = evaluate_forecast(y_true, y_pred)
+        assert m["rmse"] == pytest.approx(2.0)
+        assert m["mae"] == pytest.approx(2.0)
+        assert m["mape"] == pytest.approx(20.0)
+
+    def test_zero_targets_skipped_in_mape(self):
+        m = evaluate_forecast(np.array([0.0, 10.0]), np.array([1.0, 11.0]))
+        assert m["mape"] == pytest.approx(10.0)
+
+    def test_all_zero_targets_mape_nan(self):
+        import math
+
+        m = evaluate_forecast(np.zeros(3), np.ones(3))
+        assert math.isnan(m["mape"])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_forecast(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            evaluate_forecast(np.array([]), np.array([]))
+
+    def test_multidim_flattened(self):
+        y = np.ones((4, 2))
+        m = evaluate_forecast(y, y + 1)
+        assert m["mae"] == 1.0

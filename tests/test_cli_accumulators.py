@@ -1,0 +1,98 @@
+"""CLI and accumulator tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine import Accumulator, EngineContext, counter
+from repro.stio import StDataset
+
+
+class TestAccumulators:
+    def test_counter(self):
+        acc = counter("records")
+        acc.add(3)
+        acc.add(4)
+        assert acc.value == 7
+        acc.reset()
+        assert acc.value == 0
+
+    def test_custom_combine(self):
+        acc = Accumulator(set(), combine=lambda a, b: a | b)
+        acc.add({1})
+        acc.add({2, 3})
+        assert acc.value == {1, 2, 3}
+
+    def test_used_inside_tasks(self):
+        ctx = EngineContext(default_parallelism=4)
+        seen = counter()
+
+        def track(x):
+            seen.add(1)
+            return x
+
+        ctx.parallelize(range(100), 8).map(track).count()
+        assert seen.value == 100
+
+    def test_repr(self):
+        acc = counter("hits")
+        acc.add(2)
+        assert "hits" in repr(acc)
+        assert "2" in repr(acc)
+
+
+class TestCli:
+    def test_generate_and_info(self, tmp_path, capsys):
+        out = tmp_path / "nyc"
+        assert main(["generate", "nyc", "--records", "500", "--out", str(out)]) == 0
+        assert StDataset(out).metadata().total_records == 500
+        assert main(["info", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "records: 500" in captured
+        assert "instance type: event" in captured
+
+    def test_select_with_pruning(self, tmp_path, capsys):
+        out = tmp_path / "nyc"
+        main(["generate", "nyc", "--records", "800", "--out", str(out), "--seed", "3"])
+        code = main(
+            [
+                "select", str(out),
+                "--bbox", "-74.0", "40.7", "-73.95", "40.75",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "selected" in captured
+        assert "partitions read:" in captured
+
+    def test_select_without_query_errors(self, tmp_path):
+        out = tmp_path / "nyc"
+        main(["generate", "nyc", "--records", "100", "--out", str(out)])
+        assert main(["select", str(out)]) == 2
+
+    def test_full_scan_flag(self, tmp_path, capsys):
+        out = tmp_path / "nyc"
+        main(["generate", "nyc", "--records", "400", "--out", str(out)])
+        main(
+            [
+                "select", str(out), "--full-scan",
+                "--bbox", "-74.0", "40.7", "-73.99", "40.71",
+            ]
+        )
+        captured = capsys.readouterr().out
+        # Full scan reads every partition.
+        lines = [ln for ln in captured.splitlines() if "partitions read" in ln]
+        read, total = lines[-1].split()[2].split("/")
+        assert read == total
+
+    def test_reindex(self, tmp_path, capsys):
+        out = tmp_path / "porto"
+        main(["generate", "porto", "--records", "100", "--out", str(out), "--no-indexed"])
+        assert main(["index", str(out), "--gt", "2", "--gs", "2"]) == 0
+        assert "re-indexed" in capsys.readouterr().out
+        assert StDataset(out).metadata().total_records == 100
+
+    def test_generate_all_kinds(self, tmp_path):
+        for name in ("porto", "air", "osm"):
+            out = tmp_path / name
+            assert main(["generate", name, "--records", "200", "--out", str(out)]) == 0
+            assert StDataset(out).metadata().total_records > 0

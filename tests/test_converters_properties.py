@@ -1,0 +1,110 @@
+"""Property-based tests on conversion correctness.
+
+The central invariants of Section 4.2: whatever candidate-enumeration
+strategy is used, (1) an instance is allocated to *exactly* the cells it
+intersects, and (2) all three strategies agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.converters.base import allocate
+from repro.core.structures import (
+    RasterStructure,
+    SpatialMapStructure,
+    TimeSeriesStructure,
+)
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Event, Trajectory
+from repro.temporal import Duration
+
+coord = st.floats(min_value=-1, max_value=11, allow_nan=False)
+timestamp = st.floats(min_value=-10, max_value=110, allow_nan=False)
+
+
+@st.composite
+def events(draw):
+    n = draw(st.integers(1, 30))
+    return [
+        Event.of_point(draw(coord), draw(coord), draw(timestamp), data=i)
+        for i in range(n)
+    ]
+
+
+@st.composite
+def trajectories(draw):
+    n = draw(st.integers(1, 8))
+    out = []
+    for i in range(n):
+        k = draw(st.integers(2, 5))
+        times = sorted(draw(timestamp) for _ in range(k))
+        pts = [(draw(coord), draw(coord), t) for t in times]
+        out.append(Trajectory.of_points(pts, data=i))
+    return out
+
+
+STRUCTURES = [
+    lambda: TimeSeriesStructure.regular(Duration(0, 100), 7),
+    lambda: SpatialMapStructure.regular(Envelope(0, 0, 10, 10), 4, 3),
+    lambda: RasterStructure.regular(Envelope(0, 0, 10, 10), Duration(0, 100), 3, 3, 4),
+]
+
+
+def ground_truth_cells(instance, structure):
+    """Brute-force exact allocation: test the instance against each cell."""
+    from repro.core.converters.base import _cell_bounds, _matches_cell
+
+    return [
+        i
+        for i in range(structure.n_cells)
+        if _matches_cell(instance, *_cell_bounds(structure, i))
+    ]
+
+
+class TestAllocationProperties:
+    @given(events(), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_event_allocation_exact(self, evs, structure_index):
+        structure = STRUCTURES[structure_index]()
+        for method in ("naive", "rtree", "regular"):
+            cells = allocate(evs, structure, method)
+            for ev in evs:
+                expected = set(ground_truth_cells(ev, structure))
+                got = {i for i, arr in enumerate(cells) if ev in arr}
+                assert got == expected, (method, ev)
+
+    @given(trajectories(), st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_trajectory_strategies_agree(self, trajs, structure_index):
+        structure = STRUCTURES[structure_index]()
+        layouts = {}
+        for method in ("naive", "rtree", "regular"):
+            cells = allocate(trajs, structure, method)
+            layouts[method] = [sorted(t.data for t in c) for c in cells]
+        assert layouts["naive"] == layouts["rtree"] == layouts["regular"]
+
+    @given(trajectories())
+    @settings(max_examples=30, deadline=None)
+    def test_trajectory_allocation_matches_ground_truth(self, trajs):
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 100), 3, 3, 3
+        )
+        cells = allocate(trajs, structure)
+        for traj in trajs:
+            expected = set(ground_truth_cells(traj, structure))
+            got = {i for i, arr in enumerate(cells) if traj in arr}
+            assert got == expected
+
+    @given(events())
+    @settings(max_examples=25, deadline=None)
+    def test_conversion_pipeline_conserves_mass(self, evs):
+        """Allocated count via the RDD pipeline == direct allocation."""
+        ctx = EngineContext(default_parallelism=3)
+        structure = TimeSeriesStructure.regular(Duration(0, 100), 5)
+        from repro.core.converters import Event2TsConverter
+
+        partials = Event2TsConverter(structure).convert(ctx.parallelize(evs, 3))
+        merged = partials.reduce(lambda a, b: a.merge_with(b, lambda x, y: x + y))
+        direct = allocate(evs, structure)
+        assert [len(v) for v in merged.cell_values()] == [len(c) for c in direct]

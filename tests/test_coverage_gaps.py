@@ -1,0 +1,121 @@
+"""Targeted tests for remaining API surface."""
+
+import pytest
+
+from repro.baselines.records import record_centroid, record_envelope
+from repro.core.extractors import SmFlowExtractor
+from repro.core.converters import Event2SmConverter
+from repro.core.structures import SpatialMapStructure
+from repro.engine import EngineContext
+from repro.geometry import Envelope, Point, Polygon
+from repro.instances import Event, Trajectory
+from repro.mapmatching import RoadNetwork
+from tests.conftest import make_events
+
+
+class TestEnvelopeExtras:
+    def test_corners_order(self):
+        corners = list(Envelope(0, 0, 2, 3).corners())
+        assert corners == [(0, 0), (2, 0), (2, 3), (0, 3)]
+
+    def test_to_polygon(self):
+        poly = Envelope(0, 0, 2, 3).to_polygon()
+        assert isinstance(poly, Polygon)
+        assert poly.area == 6.0
+
+    def test_envelope_intersects_polygon_dispatch(self):
+        env = Envelope(0, 0, 2, 2)
+        tri = Polygon([(1, 1), (3, 1), (1, 3)])
+        assert env.intersects(tri)
+        assert tri.intersects(env)
+
+
+class TestExtractValuesHelper:
+    def test_extract_values_matches_extract(self):
+        ctx = EngineContext(default_parallelism=2)
+        events = make_events(100, seed=99)
+        structure = SpatialMapStructure.regular(Envelope(0, 0, 10, 10), 3, 3)
+        converted = Event2SmConverter(structure).convert(
+            ctx.parallelize(events, 2)
+        ).persist()
+        converted.count()
+        extractor = SmFlowExtractor()
+        assert extractor.extract_values(converted) == extractor.extract(
+            converted
+        ).cell_values()
+
+
+class TestBaselineRecordHelpers:
+    def test_record_centroid_event(self):
+        from repro.baselines import instance_to_geo_record
+
+        record = instance_to_geo_record(Event.of_point(3.0, 4.0, 0.0))
+        assert record_centroid(record) == (3.0, 4.0)
+
+    def test_record_centroid_trajectory(self):
+        from repro.baselines import instance_to_geo_record
+
+        traj = Trajectory.of_points([(0, 0, 0), (2, 2, 10)], data="t")
+        record = instance_to_geo_record(traj)
+        assert record_centroid(record) == (1.0, 1.0)
+
+    def test_record_envelope(self):
+        from repro.baselines import instance_to_geo_record
+
+        traj = Trajectory.of_points([(0, 1, 0), (2, -1, 10)], data="t")
+        assert record_envelope(instance_to_geo_record(traj)) == (0, -1, 2, 1)
+
+
+class TestRouteDistances:
+    @pytest.fixture
+    def net(self):
+        return RoadNetwork.grid(0.0, 0.0, 3, 3, spacing_degrees=0.01)
+
+    def test_route_distance_adjacent_segments(self, net):
+        # Find two segments sharing a junction: a.to_node == b.from_node.
+        seg_a = net.segments[0]
+        seg_b = next(
+            s for s in net.segments
+            if s.from_node == seg_a.to_node and s.segment_id != seg_a.segment_id
+        )
+        d = net.route_distance_meters(seg_a.segment_id, 0.5, seg_b.segment_id, 0.5)
+        expected = 0.5 * seg_a.length_meters + 0.5 * seg_b.length_meters
+        assert d == pytest.approx(expected, rel=1e-9)
+
+    def test_route_distance_respects_cutoff(self, net):
+        import math
+
+        first = net.segments[0].segment_id
+        last = net.segments[-1].segment_id
+        d = net.route_distance_meters(first, 0.0, last, 1.0, cutoff_meters=1.0)
+        assert math.isinf(d)
+
+    def test_candidate_segments_cap(self, net):
+        hits = net.candidate_segments(0.01, 0.01, radius_meters=5_000, max_candidates=3)
+        assert len(hits) == 3
+
+
+class TestGeometryDispatchMatrix:
+    """Intersection must be symmetric across every geometry pair type."""
+
+    PAIRS = [
+        (Point(1, 1), Envelope(0, 0, 2, 2)),
+        (Point(1, 1), Polygon([(0, 0), (3, 0), (0, 3)])),
+        (Envelope(0, 0, 2, 2), Polygon([(1, 1), (4, 1), (1, 4)])),
+    ]
+
+    @pytest.mark.parametrize("a,b", PAIRS)
+    def test_symmetry_positive(self, a, b):
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    NEG_PAIRS = [
+        (Point(9, 9), Envelope(0, 0, 2, 2)),
+        (Point(9, 9), Polygon([(0, 0), (3, 0), (0, 3)])),
+        (Envelope(8, 8, 9, 9), Polygon([(0, 0), (3, 0), (0, 3)])),
+    ]
+
+    @pytest.mark.parametrize("a,b", NEG_PAIRS)
+    def test_symmetry_negative(self, a, b):
+        assert not a.intersects(b)
+        assert not b.intersects(a)

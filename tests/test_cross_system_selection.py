@@ -1,0 +1,90 @@
+"""Randomized cross-system selection parity.
+
+For any ST range query, all three systems must select exactly the same
+records — ST4ML's metadata-pruned indexed path, GeoMesa-like's XZ2 block
+scan, and GeoSpark-like's full scan.  This is the precondition for every
+performance comparison being apples-to-apples.
+"""
+
+import pytest
+
+from repro.baselines import GeoMesaLike, GeoSparkLike
+from repro.core import Selector
+from repro.datasets import NYC_BBOX, PORTO_BBOX, generate_nyc_events, generate_porto_trajectories
+from repro.datasets.common import EPOCH_2013
+from repro.datasets.porto import PORTO_START
+from repro.engine import EngineContext
+from repro.partitioners import TSTRPartitioner
+from repro.stio import save_dataset
+from repro.workloads import random_queries
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return EngineContext(default_parallelism=4)
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    root = tmp_path_factory.mktemp("parity")
+    ctx = EngineContext(default_parallelism=4)
+    events = generate_nyc_events(1_200, seed=401, days=10)
+    trajs = generate_porto_trajectories(150, seed=402, days=10)
+    save_dataset(root / "ev_st", events, "event", partitioner=TSTRPartitioner(2, 3), ctx=ctx)
+    save_dataset(root / "tr_st", trajs, "trajectory", partitioner=TSTRPartitioner(2, 3), ctx=ctx)
+    GeoSparkLike.ingest(events, root / "ev_gs")
+    GeoSparkLike.ingest(trajs, root / "tr_gs")
+    GeoMesaLike.ingest(events, root / "ev_gm", block_records=128)
+    GeoMesaLike.ingest(trajs, root / "tr_gm", block_records=32)
+    return root, events, trajs
+
+
+def ids_of(rdd):
+    return sorted(repr(x.data).strip("'\"").strip("'") for x in rdd.collect())
+
+
+def canonical_ids(rdd):
+    out = []
+    for inst in rdd.collect():
+        d = inst.data
+        if isinstance(d, str) and d and (d[0] in "'\"" or d.lstrip("-").isdigit()):
+            out.append(d if not d.lstrip("-").isdigit() else d)
+        else:
+            out.append(repr(d))
+    return sorted(out)
+
+
+EVENT_QUERIES = random_queries(NYC_BBOX, EPOCH_2013, 5, seed=41, s_ratio=0.4, t_ratio=0.3, days=10)
+TRAJ_QUERIES = random_queries(PORTO_BBOX, PORTO_START, 5, seed=42, s_ratio=0.4, t_ratio=0.3, days=10)
+
+
+class TestEventParity:
+    @pytest.mark.parametrize("query_index", range(len(EVENT_QUERIES)))
+    def test_three_systems_agree(self, ctx, stores, query_index):
+        root, events, _ = stores
+        q = EVENT_QUERIES[query_index]
+        st = Selector(q.spatial, q.temporal).select(ctx, root / "ev_st")
+        gm = GeoMesaLike().select(ctx, root / "ev_gm", q.spatial, q.temporal)
+        gs = GeoSparkLike().select(ctx, root / "ev_gs", q.spatial, q.temporal)
+        expected = sorted(
+            repr(ev.data) for ev in events if ev.intersects(q.spatial, q.temporal)
+        )
+        assert canonical_ids(st) == expected
+        assert canonical_ids(gm) == expected
+        assert canonical_ids(gs) == expected
+
+
+class TestTrajectoryParity:
+    @pytest.mark.parametrize("query_index", range(len(TRAJ_QUERIES)))
+    def test_three_systems_agree(self, ctx, stores, query_index):
+        root, _, trajs = stores
+        q = TRAJ_QUERIES[query_index]
+        st = Selector(q.spatial, q.temporal).select(ctx, root / "tr_st")
+        gm = GeoMesaLike().select(ctx, root / "tr_gm", q.spatial, q.temporal)
+        gs = GeoSparkLike().select(ctx, root / "tr_gs", q.spatial, q.temporal)
+        expected = sorted(
+            repr(t.data) for t in trajs if t.intersects(q.spatial, q.temporal)
+        )
+        assert canonical_ids(st) == expected
+        assert canonical_ids(gm) == expected
+        assert canonical_ids(gs) == expected

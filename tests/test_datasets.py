@@ -1,0 +1,189 @@
+"""Dataset generator tests: schemas, determinism, enlargement protocols."""
+
+import pytest
+
+from repro.datasets import (
+    AIR_BBOX,
+    NYC_BBOX,
+    PORTO_BBOX,
+    enlarge_air,
+    enlarge_trajectories,
+    generate_air_records,
+    generate_hangzhou_case,
+    generate_nyc_events,
+    generate_osm_areas,
+    generate_osm_pois,
+    generate_porto_trajectories,
+)
+from repro.datasets.air import AQI_FIELDS
+from repro.geometry import Point
+from repro.geometry.distance import haversine_distance
+from repro.instances import Event, Trajectory
+
+
+class TestNyc:
+    def test_count_and_schema(self):
+        events = generate_nyc_events(200, seed=1)
+        assert len(events) == 200
+        assert all(isinstance(ev, Event) for ev in events)
+        assert all(ev.value in ("pickup", "dropoff") for ev in events)
+
+    def test_determinism(self):
+        a = generate_nyc_events(50, seed=5)
+        b = generate_nyc_events(50, seed=5)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_within_bbox(self):
+        for ev in generate_nyc_events(200, seed=2):
+            assert NYC_BBOX.min_lon <= ev.spatial.x <= NYC_BBOX.max_lon
+            assert NYC_BBOX.min_lat <= ev.spatial.y <= NYC_BBOX.max_lat
+
+    def test_spatial_skew_exists(self):
+        """Hotspot mixture: a small box around the densest point holds far
+        more than its uniform share."""
+        events = generate_nyc_events(2000, seed=3)
+        from collections import Counter
+
+        cells = Counter(
+            (round(ev.spatial.x, 2), round(ev.spatial.y, 2)) for ev in events
+        )
+        top = cells.most_common(1)[0][1]
+        assert top > 5 * (2000 / len(cells))
+
+    def test_night_sparser_than_rush_hour(self):
+        events = generate_nyc_events(5000, seed=4)
+        hours = [ev.temporal.hour_of_day() for ev in events]
+        night = sum(1 for h in hours if 2 <= h < 4)
+        rush = sum(1 for h in hours if 17 <= h < 19)
+        assert night < rush / 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_nyc_events(-1)
+
+
+class TestPorto:
+    def test_schema(self):
+        trajs = generate_porto_trajectories(30, seed=1)
+        assert all(isinstance(t, Trajectory) for t in trajs)
+        assert all(t.data.startswith("trip-") for t in trajs)
+
+    def test_sampling_interval(self):
+        traj = generate_porto_trajectories(1, seed=2)[0]
+        times = [p.t for p in traj.points()]
+        assert all(b - a == 15.0 for a, b in zip(times, times[1:]))
+
+    def test_speed_plausible(self):
+        trajs = generate_porto_trajectories(50, seed=3)
+        speeds = [t.average_speed_kmh() for t in trajs]
+        assert 5 < sum(speeds) / len(speeds) < 80
+
+    def test_within_bbox(self):
+        for t in generate_porto_trajectories(20, seed=4):
+            env = t.spatial_extent
+            assert env.min_x >= PORTO_BBOX.min_lon
+            assert env.max_x <= PORTO_BBOX.max_lon
+
+    def test_enlargement_factor(self):
+        base = generate_porto_trajectories(10, seed=5)
+        big = enlarge_trajectories(base, factor=4, seed=5)
+        assert len(big) == 40
+        # Originals included verbatim.
+        assert big[:10] == base
+
+    def test_enlargement_noise_scale(self):
+        """Duplicates deviate by ~sigma_s meters, not by kilometers."""
+        base = generate_porto_trajectories(5, seed=6)
+        big = enlarge_trajectories(base, factor=2, seed=6, sigma_s_meters=20.0)
+        for orig, dup in zip(base, big[5:]):
+            p0, d0 = orig.points()[0], dup.points()[0]
+            deviation = haversine_distance(p0.lon, p0.lat, d0.lon, d0.lat)
+            assert deviation < 150.0  # a few sigma
+        assert big[5].data.endswith("-dup1")
+
+    def test_enlargement_validates_factor(self):
+        with pytest.raises(ValueError):
+            enlarge_trajectories([], factor=0)
+
+
+class TestAir:
+    def test_schema_and_count(self):
+        records = generate_air_records(n_stations=5, hours=24, seed=1)
+        assert len(records) == 5 * 24
+        for ev in records[:10]:
+            assert set(ev.value) == set(AQI_FIELDS)
+            assert all(v >= 0 for v in ev.value.values())
+
+    def test_within_bbox(self):
+        for ev in generate_air_records(5, hours=2, seed=2):
+            assert AIR_BBOX.min_lon <= ev.spatial.x <= AIR_BBOX.max_lon
+
+    def test_enlargement_station_replication(self):
+        base = generate_air_records(3, hours=6, seed=3)
+        big = enlarge_air(base, station_factor=4, target_interval_seconds=1800)
+        station_ids = {ev.data for ev in big}
+        assert len(station_ids) == 12  # 3 stations x 4 copies
+
+    def test_enlargement_interpolation_interval(self):
+        base = generate_air_records(1, hours=3, seed=4)
+        big = enlarge_air(base, station_factor=1, target_interval_seconds=900)
+        times = sorted(ev.temporal.start for ev in big)
+        gaps = {round(b - a) for a, b in zip(times, times[1:])}
+        assert gaps == {900}
+
+    def test_interpolated_values_between_endpoints(self):
+        base = generate_air_records(1, hours=2, seed=5)
+        big = enlarge_air(base, station_factor=1, target_interval_seconds=1800)
+        lo = min(ev.value["pm25"] for ev in base)
+        hi = max(ev.value["pm25"] for ev in base)
+        for ev in big:
+            assert lo - 1e-9 <= ev.value["pm25"] <= hi + 1e-9
+
+
+class TestOsm:
+    def test_pois(self):
+        pois = generate_osm_pois(100, seed=1)
+        assert len(pois) == 100
+        assert all(ev.temporal.is_instant for ev in pois)
+        assert all("type" in ev.value for ev in pois)
+
+    def test_areas_tile_without_gaps(self):
+        """Every POI must fall inside at least one jittered area."""
+        areas = generate_osm_areas(5, 4, seed=2)
+        assert len(areas) == 20
+        pois = generate_osm_pois(300, seed=2)
+        for ev in pois:
+            assert any(a.contains_point(ev.spatial.x, ev.spatial.y) for a in areas)
+
+    def test_areas_are_irregular(self):
+        areas = generate_osm_areas(4, 4, seed=3)
+        sizes = {round(a.area, 6) for a in areas}
+        assert len(sizes) > 1
+
+
+class TestHangzhou:
+    def test_statistics_match_paper_shape(self):
+        case = generate_hangzhou_case(300, seed=1)
+        pts = [len(t.entries) for t in case.trajectories]
+        avg_points = sum(pts) / len(pts)
+        assert 5 <= avg_points <= 15  # paper: 9.03
+        durations = [t.duration_seconds() / 60 for t in case.trajectories]
+        assert 10 <= sum(durations) / len(durations) <= 45  # paper: ~27
+
+    def test_observations_near_cameras(self):
+        case = generate_hangzhou_case(50, seed=2)
+        node_pos = {}
+        for seg in case.network.segments:
+            node_pos[seg.from_node] = (seg.from_lon, seg.from_lat)
+            node_pos[seg.to_node] = (seg.to_lon, seg.to_lat)
+        camera_points = [Point(*node_pos[n]) for n in case.camera_nodes]
+        for traj in case.trajectories[:10]:
+            for e in traj.entries:
+                nearest = min(e.spatial.distance_to(c) for c in camera_points)
+                assert nearest < 0.001  # within noise of some camera
+
+    def test_deterministic(self):
+        a = generate_hangzhou_case(20, seed=3)
+        b = generate_hangzhou_case(20, seed=3)
+        assert len(a.trajectories) == len(b.trajectories)
+        assert a.camera_nodes == b.camera_nodes

@@ -1,0 +1,57 @@
+"""Cross-process determinism.
+
+Python salts ``hash()`` per process; everything shuffle-related in this
+repo routes through ``stable_hash`` instead, so partition layouts — and
+therefore persisted datasets, balance metrics, and benchmark workloads —
+must be identical across interpreter invocations.  These tests run the
+same small pipeline in two fresh subprocesses (different hash seeds) and
+compare the results byte for byte.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+_SCRIPT = r"""
+import json
+from repro.engine import EngineContext
+from repro.datasets import generate_nyc_events
+from repro.partitioners import TSTRPartitioner, HashPartitioner
+
+events = generate_nyc_events(500, seed=11, days=5)
+ctx = EngineContext(default_parallelism=4)
+rdd = ctx.parallelize(events, 4)
+
+tstr = TSTRPartitioner(2, 3)
+layout_tstr = [sorted(ev.data for ev in p)
+               for p in tstr.partition(rdd)._collect_partitions()]
+hasher = HashPartitioner(8)
+layout_hash = [sorted(ev.data for ev in p)
+               for p in hasher.partition(rdd)._collect_partitions()]
+pairs = rdd.map(lambda ev: (repr(ev.value), 1)).reduce_by_key(lambda a, b: a + b)
+print(json.dumps({
+    "tstr": layout_tstr,
+    "hash": layout_hash,
+    "counts": sorted(pairs.collect()),
+}))
+"""
+
+
+def run_in_subprocess(hash_seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("seeds", [("1", "424242")])
+def test_layouts_identical_across_hash_seeds(seeds):
+    a = run_in_subprocess(seeds[0])
+    b = run_in_subprocess(seeds[1])
+    assert a == b

@@ -1,0 +1,123 @@
+"""Cross-cutting edge cases: empty selections, degenerate data, boundary
+records, and format helpers."""
+
+import csv
+
+import pytest
+
+from repro.core import Selector
+from repro.core.converters import Event2SmConverter, Event2TsConverter
+from repro.core.extractors import SmFlowExtractor, TsFlowExtractor
+from repro.core.structures import SpatialMapStructure, TimeSeriesStructure
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Event, Trajectory
+from repro.partitioners import TSTRPartitioner
+from repro.stio import save_dataset
+from repro.stio.formats import write_features_csv
+from repro.temporal import Duration
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=4)
+
+
+class TestEmptySelections:
+    def test_selector_empty_result(self, ctx):
+        events = [Event.of_point(0, 0, 0, data=0)]
+        out = Selector(Envelope(5, 5, 6, 6), Duration(10, 20)).select(ctx, events)
+        assert out.collect() == []
+
+    def test_empty_selection_through_conversion(self, ctx):
+        out = Selector(Envelope(5, 5, 6, 6), Duration(10, 20)).select(
+            ctx, [Event.of_point(0, 0, 0)]
+        )
+        structure = TimeSeriesStructure.regular(Duration(0, 10), 2)
+        converted = Event2TsConverter(structure).convert(out)
+        flow = TsFlowExtractor().extract(converted)
+        assert flow.cell_values() == [0, 0]
+
+    def test_disk_dataset_fully_pruned(self, ctx, tmp_path):
+        events = [Event.of_point(1.0, 1.0, 100.0, data=i) for i in range(20)]
+        save_dataset(tmp_path / "d", events, "event", ctx=ctx)
+        selector = Selector(Envelope(50, 50, 60, 60), Duration(0, 1e6))
+        out = selector.select(ctx, tmp_path / "d")
+        assert out.count() == 0
+        out.count()
+        assert selector.last_load_stats.partitions_read == 0
+
+
+class TestBoundaryRecords:
+    def test_event_on_cell_corner_lands_in_all_touching_cells(self, ctx):
+        structure = SpatialMapStructure.regular(Envelope(0, 0, 2, 2), 2, 2)
+        corner = Event.of_point(1.0, 1.0, 0.0, data="corner")
+        converted = Event2SmConverter(structure).convert(ctx.parallelize([corner], 1))
+        flows = SmFlowExtractor().extract(converted).cell_values()
+        assert flows == [1, 1, 1, 1]
+
+    def test_event_on_slot_boundary_in_both_slots(self, ctx):
+        structure = TimeSeriesStructure.regular(Duration(0, 20), 2)
+        ev = Event.of_point(0, 0, 10.0)
+        converted = Event2TsConverter(structure).convert(ctx.parallelize([ev], 1))
+        flow = TsFlowExtractor().extract(converted)
+        assert flow.cell_values() == [1, 1]
+
+    def test_partitioner_boundary_record_not_duplicated_without_flag(self, ctx):
+        events = [Event.of_point(float(i % 10), float(i % 10), float(i), data=i) for i in range(100)]
+        out = TSTRPartitioner(3, 3).partition(ctx.parallelize(events, 4), duplicate=False)
+        assert out.count() == 100
+
+
+class TestDegenerateData:
+    def test_all_events_at_one_point(self, ctx):
+        events = [Event.of_point(1.0, 1.0, float(i), data=i) for i in range(50)]
+        p = TSTRPartitioner(4, 4)
+        out = p.partition(ctx.parallelize(events, 2))
+        assert out.count() == 50
+
+    def test_single_point_trajectory(self):
+        traj = Trajectory.of_points([(1, 1, 5)], data="single")
+        assert traj.length_meters() == 0.0
+        assert traj.average_speed_kmh() == 0.0
+        assert list(traj.consecutive()) == []
+
+    def test_trajectory_with_identical_consecutive_points(self):
+        traj = Trajectory.of_points([(1, 1, 0), (1, 1, 10), (1, 1, 20)], data="parked")
+        assert traj.segment_speeds_ms() == [0.0, 0.0]
+
+    def test_zero_length_temporal_query(self, ctx):
+        events = [Event.of_point(0, 0, 10.0, data="hit"), Event.of_point(0, 0, 11.0, data="miss")]
+        out = Selector(Envelope(-1, -1, 1, 1), Duration.instant(10.0)).select(ctx, events)
+        assert [ev.data for ev in out.collect()] == ["hit"]
+
+
+class TestFeaturesCsv:
+    def test_write_features_csv(self, tmp_path):
+        path = tmp_path / "features.csv"
+        rows = [{"cell": 0, "speed": 31.5}, {"cell": 1, "speed": None}]
+        write_features_csv(path, rows, columns=["cell", "speed"])
+        with open(path, newline="") as f:
+            parsed = list(csv.DictReader(f))
+        assert parsed[0]["cell"] == "0"
+        assert parsed[0]["speed"] == "31.5"
+        assert parsed[1]["speed"] == ""
+
+    def test_missing_columns_written_empty(self, tmp_path):
+        path = tmp_path / "features.csv"
+        write_features_csv(path, [{"a": 1}], columns=["a", "b"])
+        with open(path, newline="") as f:
+            parsed = list(csv.DictReader(f))
+        assert parsed[0]["b"] == ""
+
+
+class TestSelectorIndexEquivalenceOnTrickyShapes:
+    def test_l_shaped_trajectory_mbr_false_positive(self, ctx):
+        """Per-partition R-tree prunes by MBR; the exact pass must still
+        reject MBR-only matches."""
+        traj = Trajectory.of_points([(0, 0, 0), (10, 0, 10), (10, 10, 20)], data="L")
+        query_s = Envelope(0, 9, 1, 10)  # inside MBR, away from the path
+        query_t = Duration(0, 100)
+        for index in (True, False):
+            out = Selector(query_s, query_t, index=index).select(ctx, [traj])
+            assert out.collect() == []

@@ -1,0 +1,131 @@
+"""Tests for the extended engine operations and the viz module."""
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Raster, SpatialMap, TimeSeries
+from repro.temporal import Duration
+from repro.viz import (
+    render_flow_digest,
+    render_grid,
+    render_raster_slice,
+    render_spatial_map,
+    render_time_series,
+)
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=3)
+
+
+class TestSetOps:
+    def test_intersection(self, ctx):
+        a = ctx.parallelize([1, 2, 3, 3, 4], 2)
+        b = ctx.parallelize([3, 4, 5], 2)
+        assert sorted(a.intersection(b).collect()) == [3, 4]
+
+    def test_intersection_empty(self, ctx):
+        a = ctx.parallelize([1, 2], 1)
+        b = ctx.parallelize([3], 1)
+        assert a.intersection(b).collect() == []
+
+    def test_subtract_keeps_multiset(self, ctx):
+        a = ctx.parallelize([1, 1, 2, 3], 2)
+        b = ctx.parallelize([2], 1)
+        assert sorted(a.subtract(b).collect()) == [1, 1, 3]
+
+    def test_subtract_everything(self, ctx):
+        a = ctx.parallelize([1, 2], 1)
+        assert a.subtract(a).collect() == []
+
+
+class TestOrderedTakes:
+    def test_top(self, ctx):
+        rdd = ctx.parallelize([5, 1, 9, 3, 7], 3)
+        assert rdd.top(2) == [9, 7]
+
+    def test_top_with_key(self, ctx):
+        rdd = ctx.parallelize(["aa", "b", "cccc"], 2)
+        assert rdd.top(1, key=len) == ["cccc"]
+
+    def test_take_ordered(self, ctx):
+        rdd = ctx.parallelize([5, 1, 9, 3, 7], 3)
+        assert rdd.take_ordered(3) == [1, 3, 5]
+
+    def test_take_more_than_size(self, ctx):
+        rdd = ctx.parallelize([2, 1], 1)
+        assert rdd.top(10) == [2, 1]
+        assert rdd.take_ordered(10) == [1, 2]
+
+
+class TestVizGrid:
+    def test_render_grid_shape(self):
+        out = render_grid([0, 1, 2, 3], nx=2, ny=2, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 4  # title + 2 rows + legend
+        assert len(lines[1]) == 2
+
+    def test_north_on_top(self):
+        # Row-major with y-outer: values[2], values[3] are the north row.
+        out = render_grid([0, 0, 9, 9], nx=2, ny=2)
+        rows = out.splitlines()
+        assert rows[0] == "@@"  # high values on top
+        assert rows[1] == "  "
+
+    def test_missing_cells(self):
+        out = render_grid([None, 5], nx=2, ny=1)
+        assert "·" in out.splitlines()[0]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            render_grid([1, 2, 3], 2, 2)
+
+    def test_constant_values(self):
+        out = render_grid([5, 5], nx=2, ny=1)
+        assert out.splitlines()[0] == "@@"
+        zero = render_grid([0, 0], nx=2, ny=1)
+        assert zero.splitlines()[0] == "  "
+
+
+class TestVizInstances:
+    def test_spatial_map(self):
+        sm = SpatialMap.regular(Envelope(0, 0, 2, 2), 2, 2).with_cell_values(
+            [1, 2, 3, 4]
+        )
+        out = render_spatial_map(sm, 2, 2)
+        assert len(out.splitlines()) == 3
+
+    def test_raster_slice(self):
+        raster = Raster.regular(Envelope(0, 0, 2, 1), Duration(0, 2), 2, 1, 2)
+        raster = raster.with_cell_values([1, 9, 2, 8])
+        t0 = render_raster_slice(raster, 2, 1, 2, t_index=0)
+        t1 = render_raster_slice(raster, 2, 1, 2, t_index=1)
+        assert t0.splitlines()[1] != t1.splitlines()[1]
+
+    def test_raster_slice_bounds(self):
+        raster = Raster.regular(Envelope(0, 0, 1, 1), Duration(0, 1), 1, 1, 1)
+        with pytest.raises(ValueError):
+            render_raster_slice(raster, 1, 1, 1, t_index=5)
+
+    def test_time_series_sparkline(self):
+        ts = TimeSeries.regular(Duration(0, 40), 10.0).with_cell_values([0, 5, 10, 5])
+        out = render_time_series(ts, title="flow")
+        assert out.startswith("flow [")
+        assert "max=10" in out
+
+    def test_time_series_downsampling(self):
+        ts = TimeSeries.regular(Duration(0, 100), 1.0).with_cell_values(list(range(100)))
+        out = render_time_series(ts, width=10)
+        inner = out[out.index("[") + 1 : out.index("]")]
+        assert len(inner) == 10
+
+    def test_flow_digest(self):
+        flows = {(1, 8): 10, (2, 8): 10, (1, 20): 5}
+        out = render_flow_digest(flows, n_hours=24, bar_width=10)
+        lines = out.splitlines()
+        assert len(lines) == 25
+        assert lines[9].endswith("20")   # hour 8 row shows total 20
+        assert "##########" in lines[9]  # peak hour gets the full bar

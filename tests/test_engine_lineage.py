@@ -1,0 +1,62 @@
+"""Lineage inspection tests."""
+
+import pytest
+
+from repro.engine import EngineContext
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=4)
+
+
+class TestDebugString:
+    def test_source_only(self, ctx):
+        rdd = ctx.parallelize(range(10), 2)
+        out = rdd.debug_string()
+        assert "SourceRDD(2)" in out
+        assert out.count("\n") == 0
+
+    def test_narrow_chain_collapses_to_one_stage(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).map(lambda x: x).filter(bool)
+        assert rdd.count_stages() == 0
+        out = rdd.debug_string()
+        assert out.splitlines()[0].startswith("MapPartitionsRDD")
+
+    def test_shuffle_marked(self, ctx):
+        rdd = ctx.parallelize([(1, 2)], 1).reduce_by_key(lambda a, b: a + b)
+        out = rdd.debug_string()
+        assert "[shuffle: combine]" in out
+        assert rdd.count_stages() == 1
+
+    def test_group_and_route_labels(self, ctx):
+        grouped = ctx.parallelize([(1, 2)], 1).group_by_key()
+        routed = ctx.parallelize(range(4), 2).repartition(2)
+        assert "[shuffle: group]" in grouped.debug_string()
+        assert "[shuffle: route]" in routed.debug_string()
+
+    def test_union_shows_both_branches(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        out = a.union(b).debug_string()
+        assert out.count("SourceRDD(1)") == 2
+
+    def test_cached_flag(self, ctx):
+        rdd = ctx.parallelize(range(5), 1).persist()
+        assert "[cached]" in rdd.debug_string()
+
+    def test_multi_stage_count(self, ctx):
+        rdd = (
+            ctx.parallelize([(i % 3, i) for i in range(30)], 3)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda kv: (kv[1] % 2, kv[0]))
+            .group_by_key()
+        )
+        assert rdd.count_stages() == 2
+
+    def test_join_lineage_includes_cogroup_shuffle(self, ctx):
+        a = ctx.parallelize([(1, "a")], 1)
+        b = ctx.parallelize([(1, "b")], 1)
+        joined = a.join(b)
+        assert joined.count_stages() >= 1
+        assert "[shuffle: group]" in joined.debug_string()

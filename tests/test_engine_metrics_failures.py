@@ -1,0 +1,172 @@
+"""Engine metrics, shuffle accounting, broadcast, and failure injection."""
+
+import pytest
+
+from repro.engine import Broadcast, EngineContext, TaskFailure
+from repro.engine.metrics import balance_summary, coefficient_of_variation
+from repro.engine.shuffle import hash_partition, stable_hash
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=4)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash((1, "x", 2.5)) == stable_hash((1, "x", 2.5))
+
+    def test_int_passthrough(self):
+        assert stable_hash(42) == 42
+        assert stable_hash(-1) >= 0  # masked non-negative
+
+    def test_bool_is_int(self):
+        assert stable_hash(True) == 1
+
+    def test_partition_in_range(self):
+        for key in ["a", "b", 17, (1, 2), 3.5]:
+            assert 0 <= hash_partition(key, 7) < 7
+
+
+class TestShuffleAccounting:
+    def test_reduce_by_key_shuffles_less_than_group_by_key(self, ctx):
+        data = [(i % 4, 1) for i in range(1000)]
+        rdd = ctx.parallelize(data, 8)
+
+        ctx.metrics.reset()
+        rdd.reduce_by_key(lambda a, b: a + b).collect()
+        reduce_shuffled = ctx.metrics.shuffle_records
+
+        ctx.metrics.reset()
+        rdd.group_by_key().collect()
+        group_shuffled = ctx.metrics.shuffle_records
+
+        # Map-side combine: at most keys*partitions records cross the wire.
+        assert reduce_shuffled <= 4 * 8
+        assert group_shuffled == 1000
+        assert reduce_shuffled < group_shuffled
+
+    def test_narrow_ops_shuffle_nothing(self, ctx):
+        ctx.metrics.reset()
+        ctx.parallelize(range(100), 4).map(lambda x: x + 1).filter(bool).collect()
+        assert ctx.metrics.shuffle_records == 0
+        assert ctx.metrics.shuffle_count == 0
+
+    def test_stage_and_task_counts(self, ctx):
+        ctx.metrics.reset()
+        ctx.parallelize(range(10), 5).map(lambda x: x).collect()
+        assert ctx.metrics.stages == 1
+        assert ctx.metrics.task_count == 5
+
+    def test_snapshot_keys(self, ctx):
+        snap = ctx.metrics.snapshot()
+        assert set(snap) == {
+            "tasks", "stages", "records_out", "shuffle_records",
+            "shuffles", "broadcasts", "broadcast_records",
+        }
+
+
+class TestBroadcast:
+    def test_value_accessible(self, ctx):
+        b = ctx.broadcast([1, 2, 3])
+        assert b.value == [1, 2, 3]
+
+    def test_metered(self, ctx):
+        ctx.metrics.reset()
+        ctx.broadcast([1, 2, 3])
+        ctx.broadcast(object(), record_count=10)
+        assert ctx.metrics.broadcast_count == 2
+        assert ctx.metrics.broadcast_records == 13
+
+    def test_unsized_defaults_to_one(self, ctx):
+        ctx.metrics.reset()
+        ctx.broadcast(42)
+        assert ctx.metrics.broadcast_records == 1
+
+    def test_destroy(self):
+        b = Broadcast("x")
+        b.destroy()
+        with pytest.raises(ValueError):
+            _ = b.value
+
+
+class TestFailureInjection:
+    def test_transient_failure_retried(self, ctx):
+        attempts = {}
+
+        def flaky(partition, attempt):
+            attempts.setdefault(partition, 0)
+            attempts[partition] += 1
+            if partition == 1 and attempt == 1:
+                raise RuntimeError("transient fault")
+
+        ctx.task_failure_injector = flaky
+        result = ctx.parallelize(range(10), 3).collect()
+        assert result == list(range(10))
+        assert attempts[1] == 2  # one failure + one successful retry
+
+    def test_permanent_failure_surfaces_task_failure(self, ctx):
+        def always_fail(partition, attempt):
+            if partition == 0:
+                raise RuntimeError("dead executor")
+
+        ctx.task_failure_injector = always_fail
+        with pytest.raises(TaskFailure) as exc_info:
+            ctx.parallelize(range(10), 2).collect()
+        assert exc_info.value.partition == 0
+        assert exc_info.value.attempts == ctx.max_task_retries
+
+    def test_retry_metrics_record_attempts(self, ctx):
+        def flaky(partition, attempt):
+            if attempt == 1:
+                raise RuntimeError("always fails once")
+
+        ctx.task_failure_injector = flaky
+        ctx.parallelize(range(4), 2).collect()
+        assert all(t.attempts == 2 for t in ctx.metrics.tasks)
+
+
+class TestParallelMode:
+    def test_parallel_results_match_sequential(self):
+        seq = EngineContext(default_parallelism=4, parallel=False)
+        par = EngineContext(default_parallelism=4, parallel=True)
+        data = [(i % 5, i) for i in range(500)]
+        a = seq.parallelize(data, 8).reduce_by_key(lambda x, y: x + y).collect_as_map()
+        b = par.parallelize(data, 8).reduce_by_key(lambda x, y: x + y).collect_as_map()
+        assert a == b
+        par.stop()
+
+    def test_context_manager_stops_pool(self):
+        with EngineContext(parallel=True) as ctx:
+            ctx.parallelize(range(10), 4).collect()
+        assert ctx._pool is None
+
+
+class TestBalanceMetrics:
+    def test_cv_uniform_is_zero(self):
+        assert coefficient_of_variation([10, 10, 10]) == 0.0
+
+    def test_cv_skewed_positive(self):
+        assert coefficient_of_variation([0, 0, 30]) > 1.0
+
+    def test_cv_degenerate(self):
+        assert coefficient_of_variation([]) == 0.0
+        assert coefficient_of_variation([0, 0]) == 0.0
+        assert coefficient_of_variation([5]) == 0.0
+
+    def test_balance_summary(self):
+        s = balance_summary([1, 2, 3])
+        assert s["partitions"] == 3
+        assert s["min"] == 1 and s["max"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+
+
+class TestContextValidation:
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            EngineContext(default_parallelism=0)
+
+    def test_invalid_retries(self):
+        with pytest.raises(ValueError):
+            EngineContext(max_task_retries=0)

@@ -1,0 +1,99 @@
+"""Property-based equivalence: RDD operations vs list semantics."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineContext
+
+ints = st.lists(st.integers(-50, 50), max_size=80)
+n_parts = st.integers(1, 6)
+
+
+def make_rdd(data, n):
+    return EngineContext(default_parallelism=4).parallelize(data, n)
+
+
+class TestListEquivalence:
+    @given(ints, n_parts)
+    @settings(max_examples=50, deadline=None)
+    def test_map_filter(self, data, n):
+        rdd = make_rdd(data, n)
+        got = rdd.map(lambda x: x * 3).filter(lambda x: x > 0).collect()
+        assert got == [x * 3 for x in data if x * 3 > 0]
+
+    @given(ints, n_parts)
+    @settings(max_examples=50, deadline=None)
+    def test_flat_map(self, data, n):
+        rdd = make_rdd(data, n)
+        assert rdd.flat_map(lambda x: [x, x]).collect() == [
+            y for x in data for y in (x, x)
+        ]
+
+    @given(ints, n_parts)
+    @settings(max_examples=50, deadline=None)
+    def test_count_and_sum(self, data, n):
+        rdd = make_rdd(data, n)
+        assert rdd.count() == len(data)
+        assert rdd.sum() == sum(data)
+
+    @given(ints, n_parts)
+    @settings(max_examples=50, deadline=None)
+    def test_distinct(self, data, n):
+        rdd = make_rdd(data, n)
+        assert sorted(rdd.distinct().collect()) == sorted(set(data))
+
+    @given(ints, n_parts)
+    @settings(max_examples=50, deadline=None)
+    def test_sort_by(self, data, n):
+        rdd = make_rdd(data, n)
+        assert rdd.sort_by(lambda x: x).collect() == sorted(data)
+
+    @given(ints, n_parts, st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_by_key_equals_counter(self, data, n, modulus):
+        rdd = make_rdd(data, n).map(lambda x: (x % modulus, 1))
+        got = rdd.reduce_by_key(lambda a, b: a + b).collect_as_map()
+        expected = dict(Counter(x % modulus for x in data))
+        assert got == expected
+
+    @given(ints, n_parts, st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_key_preserves_multiset(self, data, n, modulus):
+        rdd = make_rdd(data, n).map(lambda x: (x % modulus, x))
+        got = rdd.group_by_key().collect()
+        expected = defaultdict(list)
+        for x in data:
+            expected[x % modulus].append(x)
+        assert {k: sorted(v) for k, v in got} == {
+            k: sorted(v) for k, v in expected.items()
+        }
+
+    @given(ints, n_parts, st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_repartition_preserves_multiset(self, data, n, m):
+        rdd = make_rdd(data, n)
+        out = rdd.repartition(m)
+        assert Counter(out.collect()) == Counter(data)
+        assert out.num_partitions == m
+
+    @given(ints, n_parts, st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_shuffle_by_preserves_multiset(self, data, n, m):
+        rdd = make_rdd(data, n)
+        out = rdd.shuffle_by(m, lambda x: abs(x) % m)
+        assert Counter(out.collect()) == Counter(data)
+
+    @given(ints, n_parts, st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_coalesce_preserves_order(self, data, n, m):
+        rdd = make_rdd(data, n)
+        assert rdd.coalesce(m).collect() == data
+
+    @given(ints)
+    @settings(max_examples=30, deadline=None)
+    def test_take_prefix(self, data):
+        rdd = make_rdd(data, 3)
+        for k in (0, 1, 5, len(data)):
+            assert rdd.take(k) == data[:k]

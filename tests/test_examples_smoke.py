@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (imported and ``main()`` called) so
+failures carry real tracebacks; examples generate their own data in temp
+dirs, so the tests are hermetic.  The two heaviest examples are marked
+slow-ish but still bounded at laptop scale.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "traffic_speed_raster.py",
+    "poi_count_osm.py",
+    "stay_points_custom_extractor.py",
+    "road_flow_mapmatching.py",
+    "periodic_ingestion.py",
+    "traffic_forecast_end_to_end.py",
+]
+
+
+def run_example(filename: str) -> None:
+    path = EXAMPLES_DIR / filename
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename, capsys):
+    run_example(filename)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{filename} produced no output"

@@ -1,0 +1,136 @@
+"""Tests for the paper-extension features: Sm↔Ts collapses, the keyed
+partitioner generalization, and road-network raster structures."""
+
+import pytest
+
+from repro.core.converters import Sm2TsConverter, Ts2SmConverter
+from repro.core.structures import RasterStructure
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import SpatialMap, TimeSeries
+from repro.mapmatching import RoadNetwork
+from repro.partitioners import KeyedSTRPartitioner, TSTRPartitioner
+from repro.temporal import Duration
+from tests.conftest import make_events
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=2)
+
+
+class TestSmTsCollapses:
+    def test_sm_to_single_slot_ts(self, ctx):
+        sm = SpatialMap.of_geometries(
+            Envelope(0, 0, 2, 1).split(2, 1), temporal=Duration(0, 100)
+        ).with_cell_values([3, 4])
+        ts = Sm2TsConverter(lambda a, b: a + b).convert(ctx.parallelize([sm], 1)).first()
+        assert isinstance(ts, TimeSeries)
+        assert ts.n_cells == 1
+        assert ts.cell_values() == [7]
+        assert ts.entries[0].temporal == Duration(0, 100)
+
+    def test_ts_to_single_cell_sm(self, ctx):
+        ts = TimeSeries.regular(Duration(0, 20), 10.0).with_cell_values([1, 9])
+        area = Envelope(0, 0, 5, 5)
+        sm = (
+            Ts2SmConverter(lambda a, b: a + b, spatial=area)
+            .convert(ctx.parallelize([ts], 1))
+            .first()
+        )
+        assert isinstance(sm, SpatialMap)
+        assert sm.n_cells == 1
+        assert sm.cell_values() == [10]
+        assert sm.entries[0].spatial == area
+        assert sm.entries[0].temporal == Duration(0, 20)
+
+    def test_ts_to_sm_default_geometry_from_entries(self, ctx):
+        ts = TimeSeries.regular(Duration(0, 10), 5.0).with_cell_values([1, 1])
+        sm = Ts2SmConverter(lambda a, b: a + b).convert(ctx.parallelize([ts], 1)).first()
+        # Placeholder point geometry collapses to a degenerate envelope.
+        assert sm.entries[0].spatial.area == 0.0
+
+    def test_roundtrip_sum_preserved(self, ctx):
+        sm = SpatialMap.of_geometries(
+            Envelope(0, 0, 3, 1).split(3, 1), temporal=Duration(0, 50)
+        ).with_cell_values([1, 2, 3])
+        ts = Sm2TsConverter(lambda a, b: a + b).convert(ctx.parallelize([sm], 1))
+        back = Ts2SmConverter(lambda a, b: a + b).convert(ts).first()
+        assert back.cell_values() == [6]
+
+
+class TestKeyedSTRPartitioner:
+    def test_temporal_key_matches_tstr_partition_counts(self):
+        events = make_events(300, seed=201)
+        keyed = KeyedSTRPartitioner(lambda i: i.temporal_extent.center, 4, 4)
+        tstr = TSTRPartitioner(4, 4)
+        keyed.fit(events)
+        tstr.fit(events)
+        assert keyed.num_partitions == tstr.num_partitions
+        # Same slicing criterion → identical assignment.
+        assert [keyed.assign(e) for e in events] == [tstr.assign(e) for e in events]
+
+    def test_custom_attribute_key(self):
+        events = make_events(200, seed=202)
+        # Partition by record id parity-ish key: id mod 7.
+        keyed = KeyedSTRPartitioner(lambda i: float(i.data % 7), 7, 2)
+        keyed.fit(events)
+        for ev in events:
+            assert 0 <= keyed.assign(ev) < keyed.num_partitions
+
+    def test_key_slices_are_pure(self):
+        """All records in one partition share a key-quantile slice."""
+        events = make_events(300, seed=203)
+        keyed = KeyedSTRPartitioner(lambda i: float(i.data % 5), 5, 3)
+        keyed.fit(events)
+        slice_of_partition = {}
+        for ev in events:
+            pid = keyed.assign(ev)
+            key_slice = ev.data % 5
+            slice_of_partition.setdefault(pid, key_slice)
+            assert slice_of_partition[pid] == key_slice
+
+    def test_assign_all_within_single_slice(self):
+        events = make_events(100, seed=204)
+        keyed = KeyedSTRPartitioner(lambda i: i.temporal_extent.center, 3, 3)
+        keyed.fit(events)
+        for ev in events[:20]:
+            pids = keyed.assign_all(ev)
+            assert keyed.assign(ev) in pids
+
+    def test_execution(self, ctx):
+        events = make_events(200, seed=205)
+        keyed = KeyedSTRPartitioner(lambda i: i.temporal_extent.center, 3, 3)
+        out = keyed.partition(ctx.parallelize(events, 4))
+        assert out.count() == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyedSTRPartitioner(lambda i: 0.0, 0, 3)
+        p = KeyedSTRPartitioner(lambda i: 0.0, 2, 2)
+        with pytest.raises(ValueError):
+            p.fit([])
+
+
+class TestRoadNetworkStructure:
+    def test_cells_per_segment_and_slot(self):
+        net = RoadNetwork.grid(0.0, 0.0, 2, 2, spacing_degrees=0.01)
+        slots = Duration(0, 7200).split(2)
+        structure = RasterStructure.from_road_network(net, slots)
+        assert structure.n_cells == net.n_segments * 2
+
+    def test_buffered_cells_are_envelopes(self):
+        net = RoadNetwork.grid(0.0, 0.0, 2, 2, spacing_degrees=0.01)
+        structure = RasterStructure.from_road_network(
+            net, [Duration(0, 3600)], buffer_degrees=0.005
+        )
+        geom, _ = structure.cells[0]
+        assert isinstance(geom, Envelope)
+
+    def test_unbuffered_cells_are_linestrings(self):
+        from repro.geometry import LineString
+
+        net = RoadNetwork.grid(0.0, 0.0, 2, 2, spacing_degrees=0.01)
+        structure = RasterStructure.from_road_network(net, [Duration(0, 3600)])
+        geom, _ = structure.cells[0]
+        assert isinstance(geom, LineString)

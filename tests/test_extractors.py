@@ -1,0 +1,261 @@
+"""Extractor tests (Table 3)."""
+
+import pytest
+
+from repro.core.converters import (
+    Event2TsConverter,
+    Traj2RasterConverter,
+    Traj2SmConverter,
+    Traj2TsConverter,
+)
+from repro.core.extractors import (
+    CustomExtractor,
+    EventAnomalyExtractor,
+    EventClusterExtractor,
+    EventCompanionExtractor,
+    RasterFlowExtractor,
+    RasterSpeedExtractor,
+    RasterTransitExtractor,
+    SmFlowExtractor,
+    SmSpeedExtractor,
+    SmTransitExtractor,
+    TrajCompanionExtractor,
+    TrajOdExtractor,
+    TrajSpeedExtractor,
+    TrajStayPointExtractor,
+    TrajTurningExtractor,
+    TsFlowExtractor,
+    TsSpeedExtractor,
+    TsWindowFreqExtractor,
+)
+from repro.core.extractors.trajectory import extract_stay_points
+from repro.core.structures import (
+    RasterStructure,
+    SpatialMapStructure,
+    TimeSeriesStructure,
+)
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Event, Trajectory
+from repro.temporal import Duration
+from tests.conftest import make_events, make_trajectories
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=4)
+
+
+class TestEventAnomaly:
+    def test_window_without_wrap(self):
+        ex = EventAnomalyExtractor(9, 17)
+        assert ex.matches(Event.of_point(0, 0, 10 * 3600.0))
+        assert not ex.matches(Event.of_point(0, 0, 20 * 3600.0))
+
+    def test_window_with_midnight_wrap(self):
+        ex = EventAnomalyExtractor(23, 4)
+        assert ex.matches(Event.of_point(0, 0, 23.5 * 3600.0))
+        assert ex.matches(Event.of_point(0, 0, 2 * 3600.0))
+        assert not ex.matches(Event.of_point(0, 0, 12 * 3600.0))
+
+    def test_extract_filters(self, ctx):
+        events = [Event.of_point(0, 0, h * 3600.0, data=h) for h in range(24)]
+        out = EventAnomalyExtractor(23, 4).extract(ctx.parallelize(events, 2))
+        assert sorted(ev.data for ev in out.collect()) == [0, 1, 2, 3, 23]
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            EventAnomalyExtractor(25, 4)
+
+
+class TestEventCompanion:
+    def test_close_pair_found(self, ctx):
+        a = Event.of_point(0.0, 0.0, 100.0, data="a")
+        b = Event.of_point(0.001, 0.0, 200.0, data="b")  # ~111 m, 100 s apart
+        c = Event.of_point(1.0, 1.0, 100.0, data="c")  # far away
+        out = EventCompanionExtractor(500.0, 900.0).extract(
+            ctx.parallelize([a, b, c], 1)
+        )
+        assert out.collect() == [("'a'", "'b'")] or out.collect() == [("a", "b")]
+
+    def test_temporal_threshold_respected(self, ctx):
+        a = Event.of_point(0.0, 0.0, 0.0, data="a")
+        b = Event.of_point(0.0001, 0.0, 5000.0, data="b")  # near but much later
+        out = EventCompanionExtractor(500.0, 900.0).extract(ctx.parallelize([a, b], 1))
+        assert out.collect() == []
+
+    def test_bucketing_matches_brute_force(self, ctx):
+        events = make_events(120, seed=41, extent=0.05, t_extent=7200.0)
+        extractor = EventCompanionExtractor(800.0, 600.0)
+        fast = set(extractor.extract(ctx.parallelize(events, 1)).collect())
+        # Brute force over the same partition.
+        from repro.geometry.distance import haversine_distance
+
+        brute = set()
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                if abs(a.temporal.center - b.temporal.center) > 600.0:
+                    continue
+                d = haversine_distance(a.spatial.x, a.spatial.y, b.spatial.x, b.spatial.y)
+                if d <= 800.0:
+                    ka, kb = a.data, b.data
+                    brute.add((ka, kb) if repr(ka) < repr(kb) else (kb, ka))
+        assert fast == brute
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            EventCompanionExtractor(0, 10)
+
+
+class TestEventCluster:
+    def test_hotspot_detected(self, ctx):
+        hot = [Event.of_point(1.001 + i * 1e-5, 1.001, float(i), data=i) for i in range(20)]
+        cold = [Event.of_point(5.0 + i, 5.0, float(i), data=100 + i) for i in range(3)]
+        out = EventClusterExtractor(0.01, min_count=10).extract(
+            ctx.parallelize(hot + cold, 3)
+        )
+        clusters = out.collect()
+        assert len(clusters) == 1
+        assert clusters[0][1] == 20
+
+
+class TestTrajectoryExtractors:
+    def test_speed_units(self, ctx):
+        traj = Trajectory.of_points([(0, 0, 0), (0, 1, 3600)], data="t")
+        kmh = TrajSpeedExtractor("kmh").extract(ctx.parallelize([traj], 1)).collect()
+        ms = TrajSpeedExtractor("ms").extract(ctx.parallelize([traj], 1)).collect()
+        assert kmh[0][1] == pytest.approx(ms[0][1] * 3.6)
+
+    def test_speed_invalid_unit(self):
+        with pytest.raises(ValueError):
+            TrajSpeedExtractor("mph")
+
+    def test_od(self, ctx):
+        traj = Trajectory.of_points([(1, 2, 0), (3, 4, 10), (5, 6, 20)], data="t")
+        out = TrajOdExtractor().extract(ctx.parallelize([traj], 1)).collect()
+        assert out == [("t", (1, 2), (5, 6))]
+
+    def test_stay_point_detected(self):
+        # Dwell 20 min at one spot, then move away.
+        points = [(0.0, 0.0, t * 60.0) for t in range(20)] + [(1.0, 1.0, 1500.0)]
+        traj = Trajectory.of_points(points, data="t")
+        stays = extract_stay_points(traj, 200.0, 600.0)
+        assert len(stays) == 1
+        assert stays[0].lon == pytest.approx(0.0, abs=1e-9)
+        assert stays[0].value >= 600.0
+
+    def test_no_stay_point_when_moving(self):
+        points = [(0.01 * i, 0.0, i * 60.0) for i in range(20)]
+        traj = Trajectory.of_points(points, data="t")
+        assert extract_stay_points(traj, 200.0, 600.0) == []
+
+    def test_stay_point_extractor_rdd(self, ctx):
+        points = [(0.0, 0.0, t * 60.0) for t in range(15)]
+        traj = Trajectory.of_points(points, data="t")
+        out = TrajStayPointExtractor().extract(ctx.parallelize([traj], 1)).collect()
+        assert len(out[0][1]) == 1
+
+    def test_turning_extractor(self, ctx):
+        # Sharp 90-degree turn at the middle point.
+        traj = Trajectory.of_points([(0, 0, 0), (1, 0, 10), (1, 1, 20)], data="t")
+        out = TrajTurningExtractor(60.0).extract(ctx.parallelize([traj], 1)).collect()
+        key, turns = out[0]
+        assert len(turns) == 1
+        assert turns[0][3] == pytest.approx(90.0)
+
+    def test_turning_straight_line_none(self, ctx):
+        traj = Trajectory.of_points([(0, 0, 0), (1, 0, 10), (2, 0, 20)], data="t")
+        out = TrajTurningExtractor(30.0).extract(ctx.parallelize([traj], 1)).collect()
+        assert out[0][1] == []
+
+    def test_traj_companion(self, ctx):
+        a = Trajectory.of_points([(0, 0, 0), (0.0005, 0, 60)], data="a")
+        b = Trajectory.of_points([(0.0001, 0, 30), (0.0006, 0, 90)], data="b")
+        c = Trajectory.of_points([(2, 2, 0), (2.0005, 2, 60)], data="c")
+        out = TrajCompanionExtractor(500.0, 300.0).extract(
+            ctx.parallelize([a, b, c], 1)
+        )
+        pairs = out.collect()
+        assert len(pairs) == 1
+        assert set(pairs[0]) == {"a", "b"}
+
+
+class TestCollectiveExtractors:
+    def _converted_ts(self, ctx, n_events=200):
+        events = make_events(n_events, seed=51)
+        structure = TimeSeriesStructure.regular(Duration(0, 86_400), 12)
+        return Event2TsConverter(structure).convert(ctx.parallelize(events, 4))
+
+    def test_ts_flow_total(self, ctx):
+        flow = TsFlowExtractor().extract(self._converted_ts(ctx))
+        assert sum(flow.cell_values()) >= 200
+
+    def test_ts_window_freq_moving_sum(self, ctx):
+        windowed = TsWindowFreqExtractor(window_slots=12).extract(
+            self._converted_ts(ctx)
+        )
+        values = windowed.cell_values()
+        # Last slot's 12-wide window covers everything allocated so far.
+        flow = TsFlowExtractor().extract(self._converted_ts(ctx)).cell_values()
+        assert values[-1] == sum(flow)
+
+    def test_ts_speed(self, ctx):
+        trajs = make_trajectories(30, seed=52)
+        extent = Duration(0, 90_000)
+        converted = Traj2TsConverter(
+            TimeSeriesStructure.regular(extent, 6)
+        ).convert(ctx.parallelize(trajs, 3))
+        speeds = TsSpeedExtractor("kmh").extract(converted).cell_values()
+        assert any(v is not None and v > 0 for v in speeds)
+
+    def test_sm_flow_and_speed(self, ctx):
+        trajs = make_trajectories(25, seed=53)
+        structure = SpatialMapStructure.regular(Envelope(0, 0, 10, 10), 4, 4)
+        converted = Traj2SmConverter(structure).convert(ctx.parallelize(trajs, 2))
+        flows = SmFlowExtractor().extract(converted).cell_values()
+        assert sum(flows) >= 25
+        speeds = SmSpeedExtractor().extract(converted).cell_values()
+        assert sum(1 for s in speeds if s is not None) == sum(1 for f in flows if f > 0)
+
+    def test_sm_transit(self, ctx):
+        # One trajectory marching straight across three cells.
+        traj = Trajectory.of_points(
+            [(0.5, 0.5, 0), (1.5, 0.5, 10), (2.5, 0.5, 20)], data="t"
+        )
+        structure = SpatialMapStructure.regular(Envelope(0, 0, 3, 1), 3, 1)
+        converted = Traj2SmConverter(structure).convert(ctx.parallelize([traj], 1))
+        transits = dict(SmTransitExtractor().extract(converted).collect())
+        assert transits[(0, 1)] == 1
+        assert transits[(1, 2)] == 1
+
+    def test_raster_flow_speed_transit(self, ctx):
+        trajs = make_trajectories(20, seed=54)
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000), 3, 3, 4
+        )
+        converted = Traj2RasterConverter(structure).convert(
+            ctx.parallelize(trajs, 2)
+        ).persist()
+        flows = RasterFlowExtractor().extract(converted).cell_values()
+        assert sum(flows) >= 20
+        speed_cells = RasterSpeedExtractor().extract(converted).cell_values()
+        assert all(isinstance(v, tuple) and len(v) == 2 for v in speed_cells)
+        total_vehicles = sum(v[0] for v in speed_cells)
+        assert total_vehicles == sum(flows)
+        in_out = RasterTransitExtractor().extract(converted).cell_values()
+        assert all(i >= 0 and o >= 0 for i, o in in_out)
+
+    def test_raster_transit_directionality(self, ctx):
+        # Trajectory starts inside cell 0 and ends inside the last cell:
+        # out-flow from the first, in-flow to the last.
+        traj = Trajectory.of_points([(0.5, 0.5, 0), (2.5, 0.5, 100)], data="t")
+        structure = RasterStructure.regular(Envelope(0, 0, 3, 1), Duration(0, 200), 3, 1, 1)
+        converted = Traj2RasterConverter(structure).convert(ctx.parallelize([traj], 1))
+        in_out = RasterTransitExtractor().extract(converted).cell_values()
+        assert in_out[0] == (0, 1)   # left the first cell
+        assert in_out[2] == (1, 0)   # entered the last cell
+
+    def test_custom_extractor(self, ctx):
+        rdd = ctx.parallelize(range(10), 2)
+        ex = CustomExtractor(lambda r: r.map(lambda x: x * 2))
+        assert ex.extract(rdd).collect() == [x * 2 for x in range(10)]

@@ -1,0 +1,89 @@
+"""Distance / projection unit tests."""
+
+import math
+
+import pytest
+
+from repro.geometry.distance import (
+    EARTH_RADIUS_METERS,
+    METERS_PER_DEGREE_LAT,
+    euclidean_distance,
+    haversine_distance,
+    meters_per_degree_lon,
+    point_segment_distance,
+    project_point_to_segment,
+    segments_intersect,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance(10, 20, 10, 20) == 0.0
+
+    def test_one_degree_latitude(self):
+        d = haversine_distance(0, 0, 0, 1)
+        assert d == pytest.approx(METERS_PER_DEGREE_LAT, rel=1e-6)
+
+    def test_equator_one_degree_longitude(self):
+        d = haversine_distance(0, 0, 1, 0)
+        assert d == pytest.approx(METERS_PER_DEGREE_LAT, rel=1e-6)
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine_distance(0, 0, 1, 0)
+        at_60 = haversine_distance(0, 60, 1, 60)
+        assert at_60 == pytest.approx(at_equator * 0.5, rel=1e-2)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_distance(0, 0, 180, 0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_METERS, rel=1e-9)
+
+    def test_symmetry(self):
+        assert haversine_distance(1, 2, 3, 4) == pytest.approx(
+            haversine_distance(3, 4, 1, 2)
+        )
+
+
+class TestProjection:
+    def test_projection_inside_segment(self):
+        qx, qy, t = project_point_to_segment(5, 3, 0, 0, 10, 0)
+        assert (qx, qy) == (5, 0)
+        assert t == 0.5
+
+    def test_projection_clamped_to_endpoint(self):
+        qx, qy, t = project_point_to_segment(-5, 3, 0, 0, 10, 0)
+        assert (qx, qy) == (0, 0)
+        assert t == 0.0
+
+    def test_degenerate_segment(self):
+        qx, qy, t = project_point_to_segment(3, 4, 1, 1, 1, 1)
+        assert (qx, qy, t) == (1, 1, 0.0)
+
+    def test_point_segment_distance(self):
+        assert point_segment_distance(5, 3, 0, 0, 10, 0) == 3.0
+        assert point_segment_distance(13, 4, 0, 0, 10, 0) == 5.0
+
+    def test_euclidean(self):
+        assert euclidean_distance(0, 0, 3, 4) == 5.0
+
+    def test_meters_per_degree_lon_at_poles(self):
+        assert meters_per_degree_lon(90) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_endpoint_touch(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, -1), (1, 0))

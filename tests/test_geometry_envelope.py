@@ -1,0 +1,144 @@
+"""Envelope unit tests."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.geometry import Envelope, Point
+
+
+class TestConstruction:
+    def test_basic(self):
+        env = Envelope(0, 1, 2, 3)
+        assert (env.min_x, env.min_y, env.max_x, env.max_y) == (0, 1, 2, 3)
+
+    def test_degenerate_point_envelope_allowed(self):
+        env = Envelope(1, 2, 1, 2)
+        assert env.area == 0.0
+
+    def test_inverted_x_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope(2, 0, 1, 1)
+
+    def test_inverted_y_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope(0, 2, 1, 1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope(math.nan, 0, 1, 1)
+
+    def test_immutable(self):
+        env = Envelope(0, 0, 1, 1)
+        with pytest.raises(AttributeError):
+            env.min_x = 5
+
+    def test_of_points(self):
+        env = Envelope.of_points([(1, 5), (3, 2), (-1, 4)])
+        assert env == Envelope(-1, 2, 3, 5)
+
+    def test_of_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope.of_points([])
+
+    def test_merge_all(self):
+        merged = Envelope.merge_all([Envelope(0, 0, 1, 1), Envelope(2, 2, 3, 3)])
+        assert merged == Envelope(0, 0, 3, 3)
+
+    def test_merge_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope.merge_all([])
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert Envelope(0, 0, 2, 2).intersects_envelope(Envelope(1, 1, 3, 3))
+
+    def test_intersects_disjoint(self):
+        assert not Envelope(0, 0, 1, 1).intersects_envelope(Envelope(2, 2, 3, 3))
+
+    def test_intersects_touching_boundary(self):
+        # Closed-boundary semantics: shared edges count.
+        assert Envelope(0, 0, 1, 1).intersects_envelope(Envelope(1, 0, 2, 1))
+
+    def test_intersects_corner_touch(self):
+        assert Envelope(0, 0, 1, 1).intersects_envelope(Envelope(1, 1, 2, 2))
+
+    def test_contains_point_inside_and_boundary(self):
+        env = Envelope(0, 0, 2, 2)
+        assert env.contains_point(1, 1)
+        assert env.contains_point(0, 0)
+        assert env.contains_point(2, 2)
+        assert not env.contains_point(2.001, 1)
+
+    def test_contains_envelope(self):
+        assert Envelope(0, 0, 4, 4).contains_envelope(Envelope(1, 1, 2, 2))
+        assert not Envelope(0, 0, 4, 4).contains_envelope(Envelope(3, 3, 5, 5))
+
+    def test_intersects_dispatches_to_point(self):
+        assert Envelope(0, 0, 2, 2).intersects(Point(1, 1))
+        assert not Envelope(0, 0, 2, 2).intersects(Point(3, 3))
+
+
+class TestMeasurement:
+    def test_width_height_area(self):
+        env = Envelope(0, 0, 3, 2)
+        assert env.width == 3
+        assert env.height == 2
+        assert env.area == 6
+
+    def test_centroid(self):
+        assert Envelope(0, 0, 4, 2).centroid() == Point(2, 1)
+
+    def test_distance_to_disjoint(self):
+        d = Envelope(0, 0, 1, 1).distance_to(Envelope(4, 5, 6, 7))
+        assert d == pytest.approx(5.0)
+
+    def test_distance_to_overlapping_is_zero(self):
+        assert Envelope(0, 0, 2, 2).distance_to(Envelope(1, 1, 3, 3)) == 0.0
+
+
+class TestManipulation:
+    def test_merge(self):
+        assert Envelope(0, 0, 1, 1).merge(Envelope(2, -1, 3, 0.5)) == Envelope(0, -1, 3, 1)
+
+    def test_intersection(self):
+        result = Envelope(0, 0, 2, 2).intersection(Envelope(1, 1, 3, 3))
+        assert result == Envelope(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Envelope(0, 0, 1, 1).intersection(Envelope(5, 5, 6, 6)) is None
+
+    def test_expanded(self):
+        assert Envelope(0, 0, 1, 1).expanded(0.5) == Envelope(-0.5, -0.5, 1.5, 1.5)
+
+    def test_split_tiles_exactly(self):
+        cells = Envelope(0, 0, 4, 2).split(4, 2)
+        assert len(cells) == 8
+        assert Envelope.merge_all(cells) == Envelope(0, 0, 4, 2)
+        assert sum(c.area for c in cells) == pytest.approx(8.0)
+
+    def test_split_row_major_order(self):
+        cells = Envelope(0, 0, 2, 2).split(2, 2)
+        # y-outer, x-inner
+        assert cells[0] == Envelope(0, 0, 1, 1)
+        assert cells[1] == Envelope(1, 0, 2, 1)
+        assert cells[2] == Envelope(0, 1, 1, 2)
+
+    def test_split_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope(0, 0, 1, 1).split(0, 2)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Envelope(0, 0, 1, 1)
+        b = Envelope(0, 0, 1, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Envelope(0, 0, 1, 2)
+
+    def test_pickle_roundtrip(self):
+        env = Envelope(0.5, -1.5, 2.5, 3.5)
+        assert pickle.loads(pickle.dumps(env)) == env

@@ -1,0 +1,129 @@
+"""Property-based tests on the geometry substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Envelope, LineString, Point, Polygon
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def envelopes(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Envelope(x1, y1, x2, y2)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coord), draw(coord))
+
+
+@st.composite
+def triangles(draw):
+    pts = [(draw(coord), draw(coord)) for _ in range(3)]
+    # Reject degenerate (collinear) triangles.
+    (x1, y1), (x2, y2), (x3, y3) = pts
+    area2 = abs((x2 - x1) * (y3 - y1) - (y2 - y1) * (x3 - x1))
+    if area2 < 1e-6:
+        pts[2] = (pts[2][0] + 1.0, pts[2][1] + 2.0)
+    return Polygon(pts)
+
+
+class TestEnvelopeProperties:
+    @given(envelopes(), envelopes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects_envelope(b) == b.intersects_envelope(a)
+
+    @given(envelopes(), envelopes())
+    def test_merge_contains_both(self, a, b):
+        merged = a.merge(b)
+        assert merged.contains_envelope(a)
+        assert merged.contains_envelope(b)
+
+    @given(envelopes(), envelopes())
+    def test_intersection_inside_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is None:
+            assert not a.intersects_envelope(b)
+        else:
+            assert a.contains_envelope(overlap)
+            assert b.contains_envelope(overlap)
+
+    @given(envelopes())
+    def test_self_intersection_is_identity(self, env):
+        assert env.intersection(env) == env
+
+    @given(envelopes(), points())
+    def test_contains_implies_intersects(self, env, p):
+        if env.contains_point(p.x, p.y):
+            assert env.intersects(p)
+
+    @given(envelopes(), st.integers(1, 5), st.integers(1, 5))
+    def test_split_covers_and_preserves_area(self, env, nx, ny):
+        cells = env.split(nx, ny)
+        assert len(cells) == nx * ny
+        merged = Envelope.merge_all(cells)
+        assert abs(merged.min_x - env.min_x) < 1e-9
+        assert abs(merged.max_x - env.max_x) < 1e-9
+
+    @given(envelopes(), envelopes())
+    def test_distance_zero_iff_intersects(self, a, b):
+        if a.intersects_envelope(b):
+            assert a.distance_to(b) == 0.0
+        else:
+            assert a.distance_to(b) > 0.0
+
+
+class TestPointProperties:
+    @given(points(), points())
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points())
+    def test_distance_to_self_is_zero(self, p):
+        assert p.distance_to(p) == 0.0
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestPolygonProperties:
+    @given(triangles())
+    def test_centroid_inside_envelope(self, poly):
+        c = poly.centroid()
+        assert poly.envelope.expanded(1e-6).contains_point(c.x, c.y)
+
+    @given(triangles(), points())
+    def test_contains_implies_envelope_contains(self, poly, p):
+        if poly.contains_point(p.x, p.y):
+            assert poly.envelope.expanded(1e-9).contains_point(p.x, p.y)
+
+    @given(triangles())
+    def test_vertices_on_boundary_count_inside(self, poly):
+        for x, y in poly.ring:
+            assert poly.contains_point(x, y)
+
+    @given(triangles(), envelopes())
+    @settings(max_examples=50)
+    def test_envelope_intersection_consistent_with_mbr(self, poly, env):
+        # Exact intersection implies MBR intersection (never the reverse).
+        if poly.intersects(env):
+            assert poly.envelope.intersects_envelope(env)
+
+
+class TestLineStringProperties:
+    @given(st.lists(st.tuples(coord, coord), min_size=2, max_size=6))
+    def test_length_nonnegative_and_envelope_covers(self, coords):
+        ls = LineString(coords)
+        assert ls.length >= 0.0
+        for x, y in coords:
+            assert ls.envelope.contains_point(x, y)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=2, max_size=5), points())
+    def test_vertex_distance_bounds_line_distance(self, coords, p):
+        ls = LineString(coords)
+        min_vertex = min(Point(x, y).distance_to(p) for x, y in coords)
+        assert ls.distance_to(p) <= min_vertex + 1e-9

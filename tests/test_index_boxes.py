@@ -1,0 +1,89 @@
+"""STBox unit tests."""
+
+import pickle
+
+import pytest
+
+from repro.geometry import Envelope
+from repro.index import STBox
+from repro.temporal import Duration
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = STBox((0, 1), (2, 3))
+        assert box.ndim == 2
+        assert box.mins == (0, 1)
+        assert box.maxs == (2, 3)
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError):
+            STBox((0,), (1, 2))
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            STBox((2,), (1,))
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            STBox((), ())
+
+    def test_from_envelope(self):
+        box = STBox.from_envelope(Envelope(0, 1, 2, 3))
+        assert box == STBox((0, 1), (2, 3))
+
+    def test_from_duration(self):
+        assert STBox.from_duration(Duration(5, 9)) == STBox((5,), (9,))
+
+    def test_from_st(self):
+        box = STBox.from_st(Envelope(0, 1, 2, 3), Duration(4, 5))
+        assert box == STBox((0, 1, 4), (2, 3, 5))
+
+    def test_roundtrip_to_envelope_duration(self):
+        box = STBox.from_st(Envelope(0, 1, 2, 3), Duration(4, 5))
+        assert box.to_envelope() == Envelope(0, 1, 2, 3)
+        assert box.to_duration() == Duration(4, 5)
+
+    def test_to_envelope_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            STBox((0,), (1,)).to_envelope()
+
+
+class TestGeometry:
+    def test_center(self):
+        assert STBox((0, 0), (4, 2)).center() == (2, 1)
+
+    def test_volume(self):
+        assert STBox((0, 0, 0), (2, 3, 4)).volume() == 24.0
+
+    def test_intersects(self):
+        a = STBox((0, 0, 0), (2, 2, 2))
+        assert a.intersects(STBox((1, 1, 1), (3, 3, 3)))
+        assert a.intersects(STBox((2, 0, 0), (3, 1, 1)))  # face touch
+        assert not a.intersects(STBox((3, 3, 3), (4, 4, 4)))
+
+    def test_intersects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            STBox((0,), (1,)).intersects(STBox((0, 0), (1, 1)))
+
+    def test_contains(self):
+        outer = STBox((0, 0), (4, 4))
+        assert outer.contains(STBox((1, 1), (2, 2)))
+        assert not outer.contains(STBox((3, 3), (5, 5)))
+
+    def test_merge(self):
+        merged = STBox((0, 0), (1, 1)).merge(STBox((2, -1), (3, 0)))
+        assert merged == STBox((0, -1), (3, 1))
+
+    def test_merge_all(self):
+        boxes = [STBox((i,), (i + 1,)) for i in range(5)]
+        assert STBox.merge_all(boxes) == STBox((0,), (5,))
+
+    def test_merge_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            STBox.merge_all([])
+
+    def test_hash_and_pickle(self):
+        box = STBox((0.5, 1.5), (2.5, 3.5))
+        assert hash(box) == hash(STBox((0.5, 1.5), (2.5, 3.5)))
+        assert pickle.loads(pickle.dumps(box)) == box

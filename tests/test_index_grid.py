@@ -1,0 +1,139 @@
+"""GridIndex unit + property tests — the regular-structure shortcut."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import GridIndex, STBox
+
+
+@pytest.fixture
+def grid3d():
+    return GridIndex(STBox((0, 0, 0), (10, 10, 100)), (5, 5, 10))
+
+
+class TestConstruction:
+    def test_n_cells(self, grid3d):
+        assert grid3d.n_cells == 250
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(STBox((0, 0), (1, 1)), (2,))
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(STBox((0, 0), (1, 1)), (0, 2))
+
+    def test_degenerate_extent_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(STBox((0, 0), (0, 1)), (2, 2))
+
+
+class TestFlattening:
+    def test_roundtrip(self, grid3d):
+        for cell_id in (0, 1, 17, 249):
+            assert grid3d.flatten(grid3d.unflatten(cell_id)) == cell_id
+
+    def test_c_order(self):
+        grid = GridIndex(STBox((0, 0), (2, 3)), (2, 3))
+        # last dim fastest
+        assert grid.flatten((0, 0)) == 0
+        assert grid.flatten((0, 1)) == 1
+        assert grid.flatten((1, 0)) == 3
+
+    def test_out_of_range(self, grid3d):
+        with pytest.raises(IndexError):
+            grid3d.unflatten(250)
+
+
+class TestCellBoxes:
+    def test_cell_boxes_tile_extent(self):
+        grid = GridIndex(STBox((0, 0), (4, 2)), (4, 2))
+        boxes = grid.all_cell_boxes()
+        assert len(boxes) == 8
+        total = sum(b.volume() for b in boxes)
+        assert total == pytest.approx(8.0)
+        merged = STBox.merge_all(boxes)
+        assert merged == grid.extent
+
+    def test_cell_box_shape(self):
+        grid = GridIndex(STBox((0,), (24,)), (24,))
+        assert grid.cell_box(0) == STBox((0,), (1,))
+        assert grid.cell_box(23) == STBox((23,), (24,))
+
+
+class TestCandidates:
+    def test_interior_query(self):
+        grid = GridIndex(STBox((0, 0), (10, 10)), (5, 5))
+        cells = grid.candidate_cells(STBox((2.5, 2.5), (4.5, 4.5)))
+        expected = [
+            i
+            for i in range(25)
+            if grid.cell_box(i).intersects(STBox((2.5, 2.5), (4.5, 4.5)))
+        ]
+        assert sorted(cells) == expected
+
+    def test_boundary_touch_includes_both_sides(self):
+        grid = GridIndex(STBox((0,), (10,)), (5,))
+        # Query exactly on the 2.0 boundary: closed semantics → cells 0 and 1.
+        cells = grid.candidate_cells(STBox((2.0,), (2.0,)))
+        assert sorted(cells) == [0, 1]
+
+    def test_query_outside_extent(self):
+        grid = GridIndex(STBox((0,), (10,)), (5,))
+        assert grid.candidate_cells(STBox((11,), (12,))) == []
+
+    def test_query_clipped_to_extent(self):
+        grid = GridIndex(STBox((0,), (10,)), (5,))
+        cells = grid.candidate_cells(STBox((-5,), (3,)))
+        assert sorted(cells) == [0, 1]
+
+    def test_dim_mismatch(self):
+        grid = GridIndex(STBox((0,), (10,)), (5,))
+        with pytest.raises(ValueError):
+            grid.candidate_cells(STBox((0, 0), (1, 1)))
+
+
+class TestPointLookup:
+    def test_cell_of_point(self):
+        grid = GridIndex(STBox((0, 0), (10, 10)), (5, 5))
+        assert grid.cell_of_point((0.5, 0.5)) == 0
+        assert grid.cell_of_point((9.9, 9.9)) == 24
+
+    def test_max_boundary_falls_in_last_cell(self):
+        grid = GridIndex(STBox((0,), (10,)), (5,))
+        assert grid.cell_of_point((10.0,)) == 4
+
+    def test_outside_is_none(self):
+        grid = GridIndex(STBox((0,), (10,)), (5,))
+        assert grid.cell_of_point((10.5,)) is None
+        assert grid.cell_of_point((-0.1,)) is None
+
+
+dim_size = st.integers(1, 6)
+coord = st.floats(min_value=-5, max_value=15, allow_nan=False)
+
+
+class TestGridProperties:
+    @given(dim_size, dim_size, coord, coord, coord, coord)
+    @settings(max_examples=100, deadline=None)
+    def test_candidates_match_brute_force(self, nx, ny, a, b, c, d):
+        grid = GridIndex(STBox((0, 0), (10, 10)), (nx, ny))
+        x1, x2 = sorted((a, c))
+        y1, y2 = sorted((b, d))
+        q = STBox((x1, y1), (x2, y2))
+        expected = sorted(
+            i for i in range(grid.n_cells) if grid.cell_box(i).intersects(q)
+        )
+        assert sorted(grid.candidate_cells(q)) == expected
+
+    @given(dim_size, coord)
+    @settings(max_examples=60)
+    def test_point_lookup_consistent_with_cell_box(self, n, x):
+        grid = GridIndex(STBox((0,), (10,)), (n,))
+        cell = grid.cell_of_point((x,))
+        if cell is None:
+            assert x < 0 or x > 10
+        else:
+            box = grid.cell_box(cell)
+            assert box.mins[0] - 1e-9 <= x <= box.maxs[0] + 1e-9

@@ -1,0 +1,112 @@
+"""QuadTree and XZ2 curve tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Envelope
+from repro.index import QuadTree, xz2_key, xz2_query_ranges
+
+coord01 = st.floats(min_value=0, max_value=1, allow_nan=False)
+
+
+class TestQuadTree:
+    def test_build_and_size(self):
+        pts = [(random.Random(1).uniform(0, 1), random.Random(2).uniform(0, 1))]
+        tree = QuadTree.build([(0.1, 0.1), (0.9, 0.9)], capacity=4)
+        assert len(tree) == 2
+        del pts
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QuadTree.build([])
+
+    def test_leaves_partition_bounds(self):
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(500)]
+        tree = QuadTree.build(pts, capacity=20)
+        leaves = tree.leaves()
+        assert len(leaves) > 1
+        total_area = sum(leaf.area for leaf in leaves)
+        assert total_area == pytest.approx(tree.bounds.area, rel=1e-9)
+
+    def test_leaf_for_contains_point(self):
+        rng = random.Random(6)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(300)]
+        tree = QuadTree.build(pts, capacity=10)
+        for x, y in pts[:50]:
+            leaf = tree.leaf_for(x, y)
+            assert leaf.contains_point(x, y)
+
+    def test_out_of_bounds_point_clamped(self):
+        tree = QuadTree.build([(0.5, 0.5), (0.7, 0.7)], capacity=1)
+        leaf = tree.leaf_for(99.0, 99.0)  # clamped to the max corner
+        assert leaf in tree.leaves()
+
+    def test_max_depth_caps_degenerate_input(self):
+        # All points identical: splitting can never separate them.
+        tree = QuadTree.build([(0.5, 0.5)] * 100, capacity=2, max_depth=5)
+        assert len(tree) == 100
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QuadTree(Envelope(0, 0, 1, 1), capacity=0)
+
+    def test_density_adaptivity(self):
+        # A dense cluster should produce smaller leaves than sparse regions.
+        rng = random.Random(7)
+        dense = [(rng.gauss(0.2, 0.01), rng.gauss(0.2, 0.01)) for _ in range(400)]
+        sparse = [(rng.uniform(0.5, 1.0), rng.uniform(0.5, 1.0)) for _ in range(40)]
+        tree = QuadTree.build(dense + sparse, capacity=20, bounds=Envelope(0, 0, 1, 1))
+        leaf_dense = tree.leaf_for(0.2, 0.2)
+        leaf_sparse = tree.leaf_for(0.9, 0.9)
+        assert leaf_dense.area < leaf_sparse.area
+
+
+SPACE = Envelope(0, 0, 1, 1)
+
+
+class TestXZ2:
+    def test_key_deterministic(self):
+        env = Envelope(0.1, 0.1, 0.15, 0.15)
+        assert xz2_key(env, SPACE) == xz2_key(env, SPACE)
+
+    def test_root_straddler_gets_root_key(self):
+        # A geometry crossing the center can't descend: key 0.
+        assert xz2_key(Envelope(0.4, 0.4, 0.6, 0.6), SPACE) == 0
+
+    def test_small_geometry_gets_deep_key(self):
+        tiny = xz2_key(Envelope(0.10, 0.10, 0.101, 0.101), SPACE)
+        big = xz2_key(Envelope(0.1, 0.1, 0.45, 0.45), SPACE)
+        assert tiny > big
+
+    def test_query_ranges_sorted_and_merged(self):
+        ranges = xz2_query_ranges(Envelope(0.0, 0.0, 0.3, 0.3), SPACE)
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2 - 1  # disjoint and non-adjacent after merging
+            assert lo1 <= hi1
+
+    def test_full_space_query_covers_everything(self):
+        ranges = xz2_query_ranges(SPACE, SPACE, levels=4)
+        # Full cover: one range from the root over the whole tree.
+        total = (4 ** 5 - 1) // 3
+        assert ranges == [(0, total - 1)]
+
+    @given(coord01, coord01, coord01, coord01, coord01, coord01, coord01, coord01)
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives(self, ax, ay, bx, by, qx1, qy1, qx2, qy2):
+        """Any geometry intersecting the query must have its key in the
+        query's key ranges — the index may over-select, never under."""
+        gx1, gx2 = sorted((ax, bx))
+        gy1, gy2 = sorted((ay, by))
+        qxl, qxh = sorted((qx1, qx2))
+        qyl, qyh = sorted((qy1, qy2))
+        geom = Envelope(gx1, gy1, gx2, gy2)
+        query = Envelope(qxl, qyl, qxh, qyh)
+        if not geom.intersects_envelope(query):
+            return
+        key = xz2_key(geom, SPACE)
+        ranges = xz2_query_ranges(query, SPACE)
+        assert any(lo <= key <= hi for lo, hi in ranges)

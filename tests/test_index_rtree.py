@@ -1,0 +1,151 @@
+"""R-tree unit + property tests (vs brute force)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import RTree, STBox
+
+
+def random_boxes(n: int, seed: int, ndim: int = 2) -> list[tuple[STBox, int]]:
+    rng = random.Random(seed)
+    boxes = []
+    for i in range(n):
+        mins = [rng.uniform(0, 90) for _ in range(ndim)]
+        maxs = [m + rng.uniform(0, 10) for m in mins]
+        boxes.append((STBox(mins, maxs), i))
+    return boxes
+
+
+class TestBuild:
+    def test_empty_tree(self):
+        tree = RTree.build([])
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.query(STBox((0, 0), (1, 1))) == []
+
+    def test_single_item(self):
+        tree = RTree.build([(STBox((0, 0), (1, 1)), "a")])
+        assert len(tree) == 1
+        assert tree.query(STBox((0.5, 0.5), (2, 2))) == ["a"]
+
+    def test_capacity_bounds_height(self):
+        items = random_boxes(1000, 1)
+        shallow = RTree.build(items, capacity=64)
+        deep = RTree.build(items, capacity=4)
+        assert shallow.height < deep.height
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RTree.build([], capacity=1)
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            RTree.build([(STBox((0,), (1,)), 0), (STBox((0, 0), (1, 1)), 1)])
+
+    def test_all_entries(self):
+        items = random_boxes(50, 2)
+        tree = RTree.build(items)
+        assert sorted(p for _, p in tree.all_entries()) == list(range(50))
+
+
+class TestQuery:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_matches_brute_force(self, ndim):
+        items = random_boxes(400, seed=ndim, ndim=ndim)
+        tree = RTree.build(items, capacity=8)
+        rng = random.Random(99)
+        for _ in range(20):
+            mins = [rng.uniform(0, 80) for _ in range(ndim)]
+            maxs = [m + rng.uniform(0, 30) for m in mins]
+            q = STBox(mins, maxs)
+            expected = sorted(i for box, i in items if box.intersects(q))
+            assert sorted(tree.query(q)) == expected
+
+    def test_query_dim_mismatch(self):
+        tree = RTree.build(random_boxes(10, 3))
+        with pytest.raises(ValueError):
+            tree.query(STBox((0,), (1,)))
+
+    def test_query_entries_returns_boxes(self):
+        items = random_boxes(100, 4)
+        tree = RTree.build(items)
+        q = STBox((0, 0), (50, 50))
+        for box, payload in tree.query_entries(q):
+            assert box.intersects(q)
+            assert items[payload][0] == box
+
+    def test_stats_track_pruning(self):
+        items = random_boxes(1000, 5)
+        tree = RTree.build(items, capacity=8)
+        tree.stats.reset()
+        tree.query(STBox((0, 0), (5, 5)))
+        # A selective query must touch far fewer entries than a full scan.
+        assert 0 < tree.stats.entry_tests < 1000
+        tree.stats.reset()
+        assert tree.stats.queries == 0
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self):
+        items = random_boxes(300, 7)
+        tree = RTree.build(items)
+        rng = random.Random(1)
+        for _ in range(10):
+            center = (rng.uniform(0, 100), rng.uniform(0, 100))
+
+            def dist(box: STBox) -> float:
+                import math
+
+                return math.sqrt(
+                    sum(
+                        max(lo - c, c - hi, 0.0) ** 2
+                        for c, lo, hi in zip(center, box.mins, box.maxs)
+                    )
+                )
+
+            expected = sorted((dist(box), i) for box, i in items)[:5]
+            got = tree.nearest(center, k=5)
+            assert [pytest.approx(d) for d, _ in expected] == [d for d, _ in got]
+
+    def test_nearest_k_zero(self):
+        tree = RTree.build(random_boxes(10, 8))
+        assert tree.nearest((0, 0), k=0) == []
+
+    def test_nearest_on_empty_tree(self):
+        assert RTree.build([]).nearest((0, 0), k=3) == []
+
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+
+@st.composite
+def box_lists(draw):
+    n = draw(st.integers(1, 60))
+    items = []
+    for i in range(n):
+        x1, x2 = sorted((draw(coord), draw(coord)))
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        items.append((STBox((x1, y1), (x2, y2)), i))
+    return items
+
+
+class TestRTreeProperties:
+    @given(box_lists(), coord, coord, coord, coord)
+    @settings(max_examples=60, deadline=None)
+    def test_query_equals_brute_force(self, items, a, b, c, d):
+        x1, x2 = sorted((a, c))
+        y1, y2 = sorted((b, d))
+        q = STBox((x1, y1), (x2, y2))
+        tree = RTree.build(items, capacity=4)
+        expected = sorted(i for box, i in items if box.intersects(q))
+        assert sorted(tree.query(q)) == expected
+
+    @given(box_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_every_item_findable_by_own_box(self, items):
+        tree = RTree.build(items, capacity=4)
+        for box, payload in items:
+            assert payload in tree.query(box)

@@ -1,0 +1,160 @@
+"""ST instance tests: Entry, Instance base, Event, Trajectory."""
+
+import pytest
+
+from repro.geometry import Envelope, Point
+from repro.instances import Entry, Event, Trajectory, TrajectoryPoint
+from repro.temporal import Duration
+
+
+class TestEntry:
+    def test_fields(self):
+        e = Entry(Point(1, 2), Duration(3, 4), value="v")
+        assert e.spatial == Point(1, 2)
+        assert e.temporal == Duration(3, 4)
+        assert e.value == "v"
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            Entry("not a geometry", Duration(0, 1))
+        with pytest.raises(TypeError):
+            Entry(Point(0, 0), 5.0)
+
+    def test_with_value(self):
+        e = Entry(Point(0, 0), Duration.instant(1))
+        e2 = e.with_value(9)
+        assert e2.value == 9 and e.value is None
+
+    def test_st_box(self):
+        e = Entry(Point(1, 2), Duration(3, 4))
+        assert e.st_box().mins == (1, 2, 3)
+        assert e.st_box().maxs == (1, 2, 4)
+
+    def test_equality(self):
+        assert Entry(Point(0, 0), Duration(0, 1), 5) == Entry(Point(0, 0), Duration(0, 1), 5)
+        assert Entry(Point(0, 0), Duration(0, 1), 5) != Entry(Point(0, 0), Duration(0, 1), 6)
+
+
+class TestEvent:
+    def test_of_point(self):
+        ev = Event.of_point(1.0, 2.0, 100.0, value="v", data="id")
+        assert ev.spatial == Point(1, 2)
+        assert ev.temporal == Duration.instant(100)
+        assert ev.value == "v"
+        assert ev.data == "id"
+        assert len(ev) == 1
+        assert ev.is_singular
+
+    def test_extent_properties(self):
+        ev = Event.of_point(1, 2, 100)
+        assert ev.spatial_extent == Envelope(1, 2, 1, 2)
+        assert ev.temporal_extent == Duration.instant(100)
+
+    def test_intersects(self):
+        ev = Event.of_point(5, 5, 50)
+        assert ev.intersects(Envelope(0, 0, 10, 10), Duration(0, 100))
+        assert not ev.intersects(Envelope(6, 6, 10, 10), Duration(0, 100))
+        assert not ev.intersects(Envelope(0, 0, 10, 10), Duration(60, 100))
+
+    def test_map_data_keeps_type(self):
+        ev = Event.of_point(0, 0, 0, data=3)
+        out = ev.map_data(lambda d: d * 2)
+        assert isinstance(out, Event)
+        assert out.data == 6
+        assert ev.data == 3  # original untouched
+
+    def test_map_values(self):
+        ev = Event.of_point(0, 0, 0, value=2)
+        assert ev.map_values(lambda v: v + 1).value == 3
+
+    def test_replace_guards_entry_count(self):
+        ev = Event.of_point(0, 0, 0)
+        with pytest.raises(ValueError):
+            ev._replace([ev.entry, ev.entry], None)
+
+
+class TestTrajectory:
+    def test_of_points_tuples(self):
+        traj = Trajectory.of_points([(0, 0, 0), (1, 0, 10)], data="t")
+        assert len(traj) == 2
+        assert traj.data == "t"
+
+    def test_time_order_enforced(self):
+        with pytest.raises(ValueError):
+            Trajectory.of_points([(0, 0, 10), (1, 1, 5)])
+
+    def test_sort_flag(self):
+        traj = Trajectory.of_points([(0, 0, 10), (1, 1, 5)], sort=True)
+        assert [p.t for p in traj.points()] == [5, 10]
+
+    def test_point_geometry_enforced(self):
+        with pytest.raises(TypeError):
+            Trajectory([Entry(Envelope(0, 0, 1, 1), Duration.instant(0))])
+
+    def test_needs_entries(self):
+        with pytest.raises(ValueError):
+            Trajectory.of_points([])
+
+    def test_extents(self):
+        traj = Trajectory.of_points([(0, 0, 0), (2, 3, 30)])
+        assert traj.spatial_extent == Envelope(0, 0, 2, 3)
+        assert traj.temporal_extent == Duration(0, 30)
+        assert traj.duration_seconds() == 30
+
+    def test_length_and_speed(self):
+        # ~1 degree of latitude = ~111 km, covered in one hour.
+        traj = Trajectory.of_points([(0, 0, 0), (0, 1, 3600)])
+        assert traj.length_meters() == pytest.approx(111_195, rel=1e-2)
+        assert traj.average_speed_kmh() == pytest.approx(111.2, rel=1e-2)
+        assert traj.average_speed_ms() == pytest.approx(30.9, rel=1e-2)
+
+    def test_zero_duration_speed_is_zero(self):
+        traj = Trajectory.of_points([(0, 0, 5), (1, 1, 5)])
+        assert traj.average_speed_ms() == 0.0
+
+    def test_segment_speeds(self):
+        traj = Trajectory.of_points([(0, 0, 0), (0, 1, 3600), (0, 1, 3600)])
+        speeds = traj.segment_speeds_ms()
+        assert len(speeds) == 2
+        assert speeds[0] > 0
+        assert speeds[1] == 0.0  # zero-duration segment
+
+    def test_intersects_uses_entries_not_mbr(self):
+        # L-shaped trajectory whose MBR covers (0..10)^2 but whose points
+        # avoid the query corner entirely.
+        traj = Trajectory.of_points([(0, 0, 0), (10, 0, 10), (10, 10, 20)])
+        assert not traj.intersects(Envelope(0, 9, 1, 10), Duration(0, 100))
+        assert traj.intersects(Envelope(9, 9, 10, 10), Duration(0, 100))
+
+    def test_intersects_temporal_per_entry(self):
+        traj = Trajectory.of_points([(0, 0, 0), (5, 5, 100)])
+        # Spatially matching point is at t=0; temporal window excludes it.
+        assert not traj.intersects(Envelope(-1, -1, 1, 1), Duration(50, 150))
+
+    def test_sub_trajectory(self):
+        traj = Trajectory.of_points([(0, 0, 0), (1, 1, 10), (2, 2, 20)])
+        sub = traj.sub_trajectory(Duration(5, 15))
+        assert len(sub.entries) == 1
+        assert traj.sub_trajectory(Duration(100, 200)) is None
+
+    def test_resample(self):
+        traj = Trajectory.of_points([(0, 0, 0), (10, 0, 100)])
+        dense = traj.resampled(10)
+        assert len(dense.entries) == 11
+        mid = dense.points()[5]
+        assert mid.lon == pytest.approx(5.0)
+
+    def test_resample_invalid(self):
+        traj = Trajectory.of_points([(0, 0, 0), (1, 0, 1)])
+        with pytest.raises(ValueError):
+            traj.resampled(0)
+
+    def test_consecutive_pairs(self):
+        traj = Trajectory.of_points([(0, 0, 0), (1, 1, 1), (2, 2, 2)])
+        pairs = list(traj.consecutive())
+        assert len(pairs) == 2
+
+    def test_points_roundtrip(self):
+        pts = [TrajectoryPoint(0, 0, 0, "a"), TrajectoryPoint(1, 1, 1, "b")]
+        traj = Trajectory.of_points(pts)
+        assert traj.points() == pts

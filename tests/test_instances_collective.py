@@ -1,0 +1,135 @@
+"""Collective instance tests: TimeSeries, SpatialMap, Raster."""
+
+import pytest
+
+from repro.geometry import Envelope, Polygon
+from repro.instances import Event, Raster, SpatialMap, TimeSeries
+from repro.temporal import Duration
+
+
+class TestTimeSeries:
+    def test_regular_construction(self):
+        ts = TimeSeries.regular(Duration(0, 24), 6.0)
+        assert ts.n_cells == 4
+        assert not ts.is_singular
+        assert ts.slots()[0] == Duration(0, 6)
+
+    def test_of_slots_value_factory(self):
+        ts = TimeSeries.of_slots([Duration(0, 1), Duration(1, 2)], value_factory=dict)
+        assert ts.cell_values() == [{}, {}]
+
+    def test_slot_order_enforced(self):
+        with pytest.raises(ValueError):
+            TimeSeries.of_slots([Duration(5, 6), Duration(0, 1)])
+
+    def test_slot_of(self):
+        ts = TimeSeries.regular(Duration(0, 10), 2.0)
+        assert ts.slot_of(3.0) == 1
+        assert ts.slot_of(99.0) is None
+
+    def test_map_value(self):
+        ts = TimeSeries.regular(Duration(0, 4), 2.0).with_cell_values([1, 2])
+        assert ts.map_value(lambda v: v * 10).cell_values() == [10, 20]
+
+    def test_map_value_plus_sees_boundaries(self):
+        ts = TimeSeries.regular(Duration(0, 4), 2.0).with_cell_values([0, 0])
+        out = ts.map_value_plus(lambda v, s, t: t.start)
+        assert out.cell_values() == [0.0, 2.0]
+
+    def test_map_data_plus(self):
+        ts = TimeSeries.regular(Duration(0, 4), 2.0, data="x")
+        out = ts.map_data_plus(lambda d, spatials, temporals: (d, len(temporals)))
+        assert out.data == ("x", 2)
+
+
+class TestSpatialMap:
+    def test_regular(self):
+        sm = SpatialMap.regular(Envelope(0, 0, 4, 4), 2, 2)
+        assert sm.n_cells == 4
+
+    def test_of_geometries_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialMap.of_geometries([])
+
+    def test_cell_of_point_envelope_cells(self):
+        sm = SpatialMap.regular(Envelope(0, 0, 4, 4), 2, 2)
+        assert sm.cell_of_point(0.5, 0.5) == 0
+        assert sm.cell_of_point(3.5, 3.5) == 3
+        assert sm.cell_of_point(9, 9) is None
+
+    def test_cell_of_point_polygon_cells(self):
+        tri = Polygon([(0, 0), (4, 0), (0, 4)])
+        sm = SpatialMap.of_geometries([tri])
+        assert sm.cell_of_point(1, 1) == 0
+        assert sm.cell_of_point(3.9, 3.9) is None
+
+    def test_geometries_accessor(self):
+        cells = Envelope(0, 0, 2, 2).split(2, 1)
+        sm = SpatialMap.of_geometries(cells)
+        assert sm.geometries() == cells
+
+
+class TestRaster:
+    def test_regular_cell_count_and_order(self):
+        r = Raster.regular(Envelope(0, 0, 2, 2), Duration(0, 4), 2, 2, 2)
+        assert r.n_cells == 8
+        # Spatial-major, temporal inner.
+        assert r.entries[0].temporal == Duration(0, 2)
+        assert r.entries[1].temporal == Duration(2, 4)
+        assert r.entries[0].spatial == r.entries[1].spatial
+
+    def test_of_product(self):
+        geoms = Envelope(0, 0, 2, 1).split(2, 1)
+        durs = Duration(0, 2).split(2)
+        r = Raster.of_product(geoms, durs)
+        assert r.n_cells == 4
+        assert r.spatial_cells() == geoms
+        assert r.temporal_slots() == durs
+
+    def test_of_cells_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Raster.of_cells([])
+
+
+class TestMergeWith:
+    def test_cellwise_merge(self):
+        base = TimeSeries.regular(Duration(0, 4), 2.0)
+        a = base.with_cell_values([1, 2])
+        b = base.with_cell_values([10, 20])
+        merged = a.merge_with(b, lambda x, y: x + y)
+        assert merged.cell_values() == [11, 22]
+
+    def test_merge_type_mismatch_rejected(self):
+        ts = TimeSeries.regular(Duration(0, 4), 2.0)
+        sm = SpatialMap.regular(Envelope(0, 0, 1, 1), 2, 1)
+        with pytest.raises(TypeError):
+            ts.merge_with(sm, lambda a, b: a)
+
+    def test_merge_cell_count_mismatch_rejected(self):
+        a = TimeSeries.regular(Duration(0, 4), 2.0)
+        b = TimeSeries.regular(Duration(0, 4), 1.0)
+        with pytest.raises(ValueError):
+            a.merge_with(b, lambda x, y: x)
+
+    def test_merge_different_structures_rejected(self):
+        a = TimeSeries.regular(Duration(0, 4), 2.0)
+        b = TimeSeries.regular(Duration(1, 5), 2.0)
+        with pytest.raises(ValueError):
+            a.merge_with(b, lambda x, y: x)
+
+    def test_with_cell_values_length_checked(self):
+        ts = TimeSeries.regular(Duration(0, 4), 2.0)
+        with pytest.raises(ValueError):
+            ts.with_cell_values([1])
+
+
+class TestEquality:
+    def test_instances_of_same_content_equal(self):
+        a = Event.of_point(1, 2, 3, data="x")
+        b = Event.of_point(1, 2, 3, data="x")
+        assert a == b
+
+    def test_different_types_not_equal(self):
+        ts = TimeSeries.regular(Duration(0, 2), 1.0)
+        r = Raster.regular(Envelope(0, 0, 1, 1), Duration(0, 2), 1, 1, 2)
+        assert ts != r

@@ -1,0 +1,100 @@
+"""Property-based tests for map matching invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances import Trajectory
+from repro.mapmatching import HmmMapMatcher, RoadNetwork
+
+GRID = RoadNetwork.grid(116.0, 39.9, 6, 6, spacing_degrees=0.005)
+MATCHER = HmmMapMatcher(GRID, sigma_meters=20, search_radius_meters=150)
+
+lon = st.floats(min_value=115.995, max_value=116.03, allow_nan=False)
+lat = st.floats(min_value=39.895, max_value=39.93, allow_nan=False)
+
+
+@st.composite
+def noisy_trajectories(draw):
+    n = draw(st.integers(2, 8))
+    t = 0.0
+    points = []
+    for _ in range(n):
+        points.append((draw(lon), draw(lat), t))
+        t += draw(st.floats(min_value=5, max_value=120, allow_nan=False))
+    return Trajectory.of_points(points, data="h")
+
+
+class TestMatchInvariants:
+    @given(noisy_trajectories())
+    @settings(max_examples=30, deadline=None)
+    def test_matched_points_subset_and_ordered(self, traj):
+        matched = MATCHER.match(traj)
+        assert len(matched) <= len(traj.entries)
+        times = [m.t for m in matched]
+        assert times == sorted(times)
+
+    @given(noisy_trajectories())
+    @settings(max_examples=30, deadline=None)
+    def test_snap_distance_within_radius(self, traj):
+        for m in MATCHER.match(traj):
+            assert m.snap_distance_meters <= MATCHER.search_radius + 1e-6
+
+    @given(noisy_trajectories())
+    @settings(max_examples=30, deadline=None)
+    def test_matched_positions_lie_on_their_segment(self, traj):
+        for m in MATCHER.match(traj):
+            seg = GRID.segment(m.segment_id)
+            _, _, dist, _ = seg.project(m.lon, m.lat)
+            assert dist < 1.0  # snapped point is (numerically) on the segment
+
+    @given(noisy_trajectories())
+    @settings(max_examples=20, deadline=None)
+    def test_match_to_trajectory_consistency(self, traj):
+        matched_points = MATCHER.match(traj)
+        matched_traj = MATCHER.match_to_trajectory(traj)
+        if not matched_points:
+            assert matched_traj is None
+        else:
+            assert len(matched_traj.entries) == len(matched_points)
+            assert matched_traj.data == traj.data
+
+
+class TestRouteDistanceProperties:
+    def test_route_distance_at_least_straight_line(self):
+        """Network distance can never beat great-circle distance."""
+        from repro.geometry.distance import haversine_distance
+
+        rng = random.Random(4)
+        segs = GRID.segments
+        for _ in range(30):
+            a = rng.choice(segs)
+            b = rng.choice(segs)
+            fa, fb = rng.random(), rng.random()
+            route = GRID.route_distance_meters(a.segment_id, fa, b.segment_id, fb)
+            ax = a.from_lon + fa * (a.to_lon - a.from_lon)
+            ay = a.from_lat + fa * (a.to_lat - a.from_lat)
+            bx = b.from_lon + fb * (b.to_lon - b.from_lon)
+            by = b.from_lat + fb * (b.to_lat - b.from_lat)
+            straight = haversine_distance(ax, ay, bx, by)
+            assert route >= straight - 1.0  # small numerical slack
+
+    def test_shortest_path_symmetric_on_bidirectional_grid(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            u = rng.randrange(36)
+            v = rng.randrange(36)
+            d_uv = GRID.shortest_path_meters(u, v)
+            d_vu = GRID.shortest_path_meters(v, u)
+            assert d_uv == pytest.approx(d_vu, rel=1e-9)
+
+    def test_triangle_inequality(self):
+        rng = random.Random(6)
+        for _ in range(15):
+            u, v, w = (rng.randrange(36) for _ in range(3))
+            d_uw = GRID.shortest_path_meters(u, w)
+            d_uv = GRID.shortest_path_meters(u, v)
+            d_vw = GRID.shortest_path_meters(v, w)
+            assert d_uw <= d_uv + d_vw + 1e-6

@@ -1,0 +1,115 @@
+"""Miscellaneous coverage: CLI temporal selection, checkpoint over
+shuffles, geometry distance matrix, structure factories."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine import EngineContext
+from repro.geometry import Envelope, LineString, Point, Polygon
+from repro.instances import TimeSeries
+from repro.temporal import Duration
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(default_parallelism=3)
+
+
+class TestCliTemporalOnly:
+    def test_time_only_select(self, tmp_path, capsys):
+        out = tmp_path / "porto"
+        main(["generate", "porto", "--records", "120", "--out", str(out), "--seed", "9"])
+        from repro.datasets.porto import PORTO_START
+
+        code = main(
+            [
+                "select", str(out),
+                "--time", str(PORTO_START), str(PORTO_START + 40 * 86_400),
+            ]
+        )
+        assert code == 0
+        assert "selected" in capsys.readouterr().out
+
+
+class TestCheckpointAfterShuffle:
+    def test_checkpoint_of_shuffled_rdd(self, ctx, tmp_path):
+        pairs = ctx.parallelize([(i % 5, i) for i in range(50)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        restored = reduced.checkpoint(tmp_path / "ck")
+        assert dict(restored.collect()) == dict(reduced.collect())
+        # The restored RDD has no shuffle in its lineage.
+        assert restored.count_stages() == 0
+
+
+class TestDistanceMatrix:
+    LINE = LineString([(0, 0), (4, 0)])
+    POLY = Polygon([(10, 0), (12, 0), (10, 2)])
+
+    def test_line_to_polygon_disjoint(self):
+        d = self.LINE.distance_to(self.POLY)
+        assert d == pytest.approx(6.0)
+
+    def test_polygon_to_line_symmetric(self):
+        assert self.POLY.distance_to(self.LINE) == pytest.approx(
+            self.LINE.distance_to(self.POLY)
+        )
+
+    def test_polygon_to_polygon(self):
+        other = Polygon([(20, 0), (22, 0), (20, 2)])
+        assert self.POLY.distance_to(other) == pytest.approx(8.0)
+
+    def test_polygon_to_envelope(self):
+        env = Envelope(14, 0, 16, 2)
+        assert self.POLY.distance_to(env) == pytest.approx(2.0)
+
+    def test_touching_is_zero(self):
+        touching = Polygon([(4, 0), (6, 0), (4, 2)])
+        assert self.LINE.distance_to(touching) == 0.0
+
+    def test_linestring_envelope_distance(self):
+        env = Envelope(0, 5, 1, 6)
+        assert self.LINE.distance_to(env) == pytest.approx(5.0)
+
+    def test_point_linestring_dispatch(self):
+        p = Point(2, 3)
+        assert p.distance_to(self.LINE) == pytest.approx(3.0)
+        assert self.LINE.distance_to(p) == pytest.approx(3.0)
+
+
+class TestStructureFactories:
+    def test_time_series_dict_factory(self):
+        ts = TimeSeries.of_slots(Duration(0, 10).split(2), value_factory=dict)
+        assert ts.cell_values() == [{}, {}]
+        # Factories must produce independent cells, not shared references.
+        ts.entries[0].value["k"] = 1
+        assert ts.entries[1].value == {}
+
+    def test_spatial_map_structure_geometry_kinds(self):
+        from repro.core.structures import SpatialMapStructure
+
+        mixed = SpatialMapStructure(
+            [Envelope(0, 0, 1, 1), Polygon([(2, 0), (3, 0), (2, 1)])]
+        )
+        assert not mixed.is_regular
+        hits = mixed.candidate_cells(Envelope(2.1, 0.1, 2.2, 0.2), Duration(0, 1))
+        assert hits == [1]
+
+    def test_raster_structure_exact_cells(self):
+        from repro.core.structures import RasterStructure
+
+        tri = Polygon([(0, 0), (4, 0), (0, 4)])
+        s = RasterStructure.of_product([tri], Duration(0, 10).split(2))
+        # MBR candidate in slot 0; exact refinement kicks the corner out.
+        candidates = s.candidate_cells(Envelope(3, 3, 3.5, 3.5), Duration(0, 4), "rtree")
+        exact = s.exact_cells(Point(3.4, 3.4), Duration(0, 4), candidates)
+        assert exact == []
+
+
+class TestSelectorSourceErrors:
+    def test_missing_dataset_dir(self, ctx, tmp_path):
+        from repro.core import Selector
+
+        with pytest.raises(FileNotFoundError):
+            Selector(Envelope(0, 0, 1, 1), Duration(0, 1)).select(
+                ctx, tmp_path / "nope"
+            )

@@ -1,0 +1,164 @@
+"""Scenario tests: duplication semantics, parallel mode, conversion chains."""
+
+import math
+
+import pytest
+
+from repro.core import InstanceRDD, Selector
+from repro.core.converters import (
+    Raster2SmConverter,
+    Raster2TsConverter,
+    Traj2RasterConverter,
+)
+from repro.core.extractors import RasterFlowExtractor, TrajCompanionExtractor
+from repro.core.structures import RasterStructure
+from repro.engine import EngineContext
+from repro.geometry import Envelope
+from repro.instances import Trajectory
+from repro.partitioners import STRPartitioner, TSTRPartitioner
+from repro.temporal import Duration
+from tests.conftest import make_events, make_trajectories
+
+
+class TestDuplicationSemantics:
+    def test_companion_pairs_recovered_with_duplication(self):
+        """A companion pair straddling a partition boundary is only found
+        when boundary duplication is on — the correctness reason for
+        Algorithm 1's duplicate flag."""
+        ctx = EngineContext(default_parallelism=4)
+        # Two trajectories hugging x=5 from both sides, plus fit fodder.
+        a = Trajectory.of_points([(4.9995, 5.0, 0), (4.9995, 5.0, 60)], data="west")
+        b = Trajectory.of_points([(5.0005, 5.0, 30), (5.0005, 5.0, 90)], data="east")
+        filler = make_trajectories(60, seed=91)
+        rdd = ctx.parallelize([a, b] + filler, 4)
+
+        def find_pairs(duplicate: bool) -> set:
+            p = STRPartitioner(8)
+            partitioned = p.partition(rdd, duplicate=duplicate, seed=5)
+            pairs = TrajCompanionExtractor(500.0, 120.0).extract(partitioned)
+            return {frozenset(pair) for pair in pairs.collect()}
+
+        with_dup = find_pairs(True)
+        assert frozenset({"west", "east"}) in with_dup
+        # Without duplication the pair *may* be split apart; duplication
+        # can only ever add pairs, never lose them.
+        without_dup = find_pairs(False)
+        assert without_dup <= with_dup
+
+    def test_duplicate_selection_preserves_distinct_results(self):
+        ctx = EngineContext(default_parallelism=4)
+        events = make_events(200, seed=92)
+        selector = Selector(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000),
+            partitioner=TSTRPartitioner(2, 2), duplicate=True,
+        )
+        out = selector.select(ctx, events)
+        ids = [ev.data for ev in out.collect()]
+        # Point events on partition boundaries may duplicate, but the
+        # distinct id set must equal the input set.
+        assert set(ids) == {ev.data for ev in events}
+
+
+class TestParallelModeEquivalence:
+    def test_full_pipeline_parallel_equals_sequential(self):
+        events_trajs = make_trajectories(60, seed=93)
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000), 3, 3, 4
+        )
+
+        def run(parallel: bool):
+            ctx = EngineContext(default_parallelism=4, parallel=parallel)
+            rdd = ctx.parallelize(events_trajs, 4)
+            selected = Selector(
+                Envelope(0, 0, 10, 10), Duration(0, 90_000)
+            ).select(ctx, rdd)
+            converted = Traj2RasterConverter(structure).convert(selected)
+            flows = RasterFlowExtractor().extract(converted).cell_values()
+            ctx.stop()
+            return flows
+
+        assert run(False) == run(True)
+
+
+class TestConversionChains:
+    def test_raster_to_sm_to_counts(self):
+        """The paper's chained-conversion pattern: raster → spatial map by
+        regrouping cells, preserving totals."""
+        ctx = EngineContext(default_parallelism=2)
+        trajs = make_trajectories(30, seed=94)
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000), 3, 3, 4
+        )
+        raster_rdd = Traj2RasterConverter(structure).convert(
+            ctx.parallelize(trajs, 2)
+        )
+        counted = InstanceRDD(raster_rdd).map_value(len).rdd
+        sm_rdd = Raster2SmConverter(lambda a, b: a + b).convert(counted)
+        ts_rdd = Raster2TsConverter(lambda a, b: a + b).convert(counted)
+
+        raster_total = (
+            InstanceRDD(counted)
+            .merge_instances(lambda a, b: a + b)
+            .cell_values()
+        )
+        sm_total = InstanceRDD(sm_rdd).merge_instances(lambda a, b: a + b).cell_values()
+        ts_total = InstanceRDD(ts_rdd).merge_instances(lambda a, b: a + b).cell_values()
+        assert sum(raster_total) == sum(sm_total) == sum(ts_total)
+        assert len(sm_total) == 9
+        assert len(ts_total) == 4
+
+    def test_spatial_grouping_matches_direct_count(self):
+        ctx = EngineContext(default_parallelism=2)
+        trajs = make_trajectories(25, seed=95)
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000), 2, 2, 3
+        )
+        raster_rdd = Traj2RasterConverter(structure).convert(ctx.parallelize(trajs, 2))
+        counted = InstanceRDD(raster_rdd).map_value(len).rdd
+        sm = (
+            InstanceRDD(Raster2SmConverter(lambda a, b: a + b).convert(counted))
+            .merge_instances(lambda a, b: a + b)
+        )
+        merged_raster = InstanceRDD(counted).merge_instances(lambda a, b: a + b)
+        # Sum the merged raster's cells per spatial geometry by hand.
+        by_geom = {}
+        for entry in merged_raster.entries:
+            by_geom[entry.spatial] = by_geom.get(entry.spatial, 0) + entry.value
+        for entry in sm.entries:
+            assert entry.value == by_geom[entry.spatial]
+
+
+class TestMetricsAcrossPipeline:
+    def test_pipeline_shuffle_budget(self):
+        """The canonical pipeline shuffles data exactly once (partitioning);
+        conversion and extraction move only partials."""
+        ctx = EngineContext(default_parallelism=4)
+        trajs = make_trajectories(50, seed=96)
+        ctx.metrics.reset()
+        selected = Selector(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000),
+            partitioner=TSTRPartitioner(2, 2),
+        ).select(ctx, ctx.parallelize(trajs, 4))
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000), 3, 3, 4
+        )
+        converted = Traj2RasterConverter(structure).convert(selected)
+        RasterFlowExtractor().extract(converted)
+        snap = ctx.metrics.snapshot()
+        assert snap["shuffles"] == 1
+        assert snap["shuffle_records"] <= len(trajs)
+        assert snap["broadcasts"] == 1
+
+    def test_speed_values_finite(self):
+        ctx = EngineContext(default_parallelism=2)
+        trajs = make_trajectories(20, seed=97)
+        structure = RasterStructure.regular(
+            Envelope(0, 0, 10, 10), Duration(0, 90_000), 2, 2, 2
+        )
+        from repro.core.extractors import RasterSpeedExtractor
+
+        converted = Traj2RasterConverter(structure).convert(ctx.parallelize(trajs, 2))
+        for count, speed in RasterSpeedExtractor().extract(converted).cell_values():
+            assert count >= 0
+            if speed is not None:
+                assert math.isfinite(speed) and speed >= 0

@@ -1,0 +1,213 @@
+"""On-disk dataset, metadata index, and format codec tests."""
+
+import json
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.geometry import Envelope, LineString, Point, Polygon
+from repro.instances import Event, Trajectory
+from repro.partitioners import TSTRPartitioner
+from repro.stio import (
+    DatasetMetadata,
+    PartitionMeta,
+    StDataset,
+    decode_record,
+    encode_record,
+    load_dataset,
+    read_raster_csv,
+    save_dataset,
+    write_raster_csv,
+)
+from repro.index import STBox
+from repro.temporal import Duration
+from tests.conftest import make_events, make_trajectories
+
+
+class TestRecordCodec:
+    def test_event_roundtrip(self):
+        ev = Event.of_point(1.5, 2.5, 100.0, value="aux", data=42)
+        assert decode_record(encode_record(ev)) == ev
+
+    def test_trajectory_roundtrip(self):
+        traj = Trajectory.of_points([(0, 0, 0, "a"), (1, 1, 15, "b")], data="t1")
+        restored = decode_record(encode_record(traj))
+        assert restored == traj
+
+    def test_event_geometry_variants(self):
+        for geom in (
+            Point(1, 2),
+            Envelope(0, 0, 1, 1),
+            LineString([(0, 0), (1, 1)]),
+            Polygon([(0, 0), (1, 0), (0, 1)]),
+        ):
+            ev = Event(geom, Duration(0, 5), data="g")
+            assert decode_record(encode_record(ev)) == ev
+
+    def test_collective_rejected(self):
+        from repro.instances import TimeSeries
+
+        with pytest.raises(TypeError):
+            encode_record(TimeSeries.regular(Duration(0, 2), 1.0))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_record(("X", None))
+
+
+class TestRasterCsv:
+    def test_roundtrip(self, tmp_path):
+        cells = [
+            (Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]), Duration(0, 3600)),
+            (Polygon([(1, 0), (2, 0), (2, 1)]), Duration(3600, 7200)),
+        ]
+        path = tmp_path / "raster.csv"
+        write_raster_csv(path, cells)
+        restored = read_raster_csv(path)
+        assert restored == cells
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "raster.csv"
+        path.write_text("# comment\n0,0|1,0|1,1;0;10\n")
+        cells = read_raster_csv(path)
+        assert len(cells) == 1
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "raster.csv"
+        path.write_text("0,0|1,0|1,1;0\n")
+        with pytest.raises(ValueError):
+            read_raster_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "raster.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_raster_csv(path)
+
+
+class TestMetadata:
+    def test_save_load_roundtrip(self, tmp_path):
+        meta = DatasetMetadata(
+            instance_type="event",
+            partitions=[
+                PartitionMeta("part-00000.pkl", 10, STBox((0, 0, 0), (1, 1, 1))),
+            ],
+        )
+        meta.save(tmp_path)
+        loaded = DatasetMetadata.load(tmp_path)
+        assert loaded.instance_type == "event"
+        assert loaded.partitions[0].bounds == STBox((0, 0, 0), (1, 1, 1))
+        assert loaded.total_records == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DatasetMetadata.load(tmp_path)
+
+    def test_corrupted_json(self, tmp_path):
+        (tmp_path / "metadata.json").write_text("{not json")
+        with pytest.raises(ValueError, match="corrupted"):
+            DatasetMetadata.load(tmp_path)
+
+    def test_missing_key(self, tmp_path):
+        (tmp_path / "metadata.json").write_text(json.dumps({"version": 1}))
+        with pytest.raises(ValueError, match="missing key"):
+            DatasetMetadata.load(tmp_path)
+
+    def test_future_version_rejected(self, tmp_path):
+        (tmp_path / "metadata.json").write_text(
+            json.dumps({"version": 99, "instance_type": "event", "partitions": []})
+        )
+        with pytest.raises(ValueError, match="newer"):
+            DatasetMetadata.load(tmp_path)
+
+    def test_select_partitions_pruning(self):
+        parts = [
+            PartitionMeta("a", 5, STBox((0, 0, 0), (1, 1, 10))),
+            PartitionMeta("b", 5, STBox((5, 5, 0), (6, 6, 10))),
+            PartitionMeta("empty", 0, STBox((0, 0, 0), (9, 9, 10))),
+        ]
+        meta = DatasetMetadata("event", parts)
+        hits = meta.select_partitions(Envelope(0, 0, 2, 2), Duration(0, 5))
+        assert [p.filename for p in hits] == ["a"]
+        # Unconstrained query returns all non-empty partitions.
+        assert len(meta.select_partitions(None, None)) == 2
+
+    def test_merged_with(self):
+        a = DatasetMetadata("event", [PartitionMeta("a", 1, STBox((0,) * 3, (1,) * 3))])
+        b = DatasetMetadata("event", [PartitionMeta("b", 2, STBox((0,) * 3, (1,) * 3))])
+        merged = a.merged_with(b)
+        assert merged.total_records == 3
+
+    def test_merged_type_mismatch(self):
+        a = DatasetMetadata("event", [])
+        b = DatasetMetadata("trajectory", [])
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestStDataset:
+    def test_save_and_full_read(self, tmp_path):
+        events = make_events(100)
+        ctx = EngineContext(4)
+        save_dataset(tmp_path / "d", events, "event", ctx=ctx)
+        rdd, stats = load_dataset(ctx, tmp_path / "d")
+        assert sorted(ev.data for ev in rdd.collect()) == sorted(
+            ev.data for ev in events
+        )
+        assert stats.partitions_read == stats.partitions_total
+
+    def test_pruned_read_equals_filtered_full_read(self, tmp_path):
+        events = make_events(500, seed=9)
+        ctx = EngineContext(4)
+        save_dataset(
+            tmp_path / "d", events, "event", partitioner=TSTRPartitioner(3, 3), ctx=ctx
+        )
+        spatial = Envelope(0, 0, 3, 3)
+        temporal = Duration(0, 30_000)
+
+        pruned, stats = load_dataset(ctx, tmp_path / "d", spatial, temporal)
+        pruned_ids = {
+            ev.data
+            for ev in pruned.collect()
+            if ev.intersects(spatial, temporal)
+        }
+        expected = {
+            ev.data for ev in events if ev.intersects(spatial, temporal)
+        }
+        assert pruned_ids == expected
+        assert stats.partitions_read < stats.partitions_total
+
+    def test_lazy_loading_counts_only_computed(self, tmp_path):
+        events = make_events(100)
+        ctx = EngineContext(4)
+        save_dataset(tmp_path / "d", events, "event", num_partitions=10, ctx=ctx)
+        rdd, stats = load_dataset(ctx, tmp_path / "d")
+        assert stats.partitions_read == 0  # nothing touched yet
+        rdd.take(1)
+        assert stats.partitions_read >= 1
+        assert stats.partitions_read < 10
+
+    def test_write_trajectories(self, tmp_path):
+        trajectories = make_trajectories(20)
+        ctx = EngineContext(4)
+        save_dataset(tmp_path / "t", trajectories, "trajectory", ctx=ctx)
+        rdd, _ = load_dataset(ctx, tmp_path / "t")
+        assert rdd.count() == 20
+
+    def test_empty_partitions_handled(self, tmp_path):
+        StDataset.write(tmp_path / "d", [[], []], "event")
+        ctx = EngineContext(2)
+        rdd, _ = load_dataset(ctx, tmp_path / "d")
+        assert rdd.collect() == []
+
+    def test_metadata_counts(self, tmp_path):
+        events = make_events(60)
+        ctx = EngineContext(4)
+        ds = save_dataset(tmp_path / "d", events, "event", ctx=ctx)
+        assert ds.metadata().total_records == 60
+
+    def test_bounds_are_tight(self, tmp_path):
+        events = [Event.of_point(1.0, 1.0, 5.0, data=0)]
+        StDataset.write(tmp_path / "d", [events], "event")
+        meta = DatasetMetadata.load(tmp_path / "d")
+        assert meta.partitions[0].bounds == STBox((1, 1, 5), (1, 1, 5))

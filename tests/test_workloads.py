@@ -1,0 +1,102 @@
+"""Workload generation tests + instance-flexibility demonstrations."""
+
+import pytest
+
+from repro.datasets import NYC_BBOX
+from repro.datasets.common import EPOCH_2013
+from repro.workloads import STQuery, anchored_query, random_queries
+
+
+class TestAnchoredQuery:
+    def test_ratio_coverage(self):
+        q = anchored_query(NYC_BBOX, EPOCH_2013, 0.5, days=30)
+        assert q.spatial.width == pytest.approx(NYC_BBOX.width * 0.5)
+        assert q.temporal.length == pytest.approx(30 * 86_400 * 0.5)
+
+    def test_full_range(self):
+        q = anchored_query(NYC_BBOX, EPOCH_2013, 1.0)
+        assert q.spatial.max_x == pytest.approx(NYC_BBOX.max_lon)
+
+    def test_anchored_at_low_corner(self):
+        q = anchored_query(NYC_BBOX, EPOCH_2013, 0.2)
+        assert q.spatial.min_x == NYC_BBOX.min_lon
+        assert q.temporal.start == EPOCH_2013
+
+
+class TestRandomQueries:
+    def test_count_and_determinism(self):
+        a = random_queries(NYC_BBOX, EPOCH_2013, 5, seed=3)
+        b = random_queries(NYC_BBOX, EPOCH_2013, 5, seed=3)
+        assert len(a) == 5
+        assert [q.as_tuple() for q in a] == [q.as_tuple() for q in b]
+
+    def test_queries_within_bounds(self):
+        for q in random_queries(NYC_BBOX, EPOCH_2013, 20, seed=4, s_ratio=0.3, t_ratio=0.1):
+            assert q.spatial.min_x >= NYC_BBOX.min_lon
+            assert q.spatial.max_x <= NYC_BBOX.max_lon + 1e-9
+            assert q.temporal.start >= EPOCH_2013
+            assert q.temporal.end <= EPOCH_2013 + 30 * 86_400 + 1e-6
+
+    def test_independent_ratios(self):
+        q = random_queries(NYC_BBOX, EPOCH_2013, 1, s_ratio=0.8, t_ratio=0.05)[0]
+        assert q.spatial.width == pytest.approx(NYC_BBOX.width * 0.8)
+        assert q.temporal.length == pytest.approx(30 * 86_400 * 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_queries(NYC_BBOX, EPOCH_2013, 0)
+        with pytest.raises(ValueError):
+            random_queries(NYC_BBOX, EPOCH_2013, 1, s_ratio=1.5)
+
+    def test_stquery_tuple(self):
+        q = random_queries(NYC_BBOX, EPOCH_2013, 1)[0]
+        assert isinstance(q, STQuery)
+        spatial, temporal = q.as_tuple()
+        assert spatial is q.spatial and temporal is q.temporal
+
+
+class TestInstanceFlexibility:
+    """Paper §3.2.1: 'with the design of flexible value and data fields,
+    the five instances can theoretically represent any data type' — the
+    3-d mesh example."""
+
+    def test_mesh_cell_as_event(self):
+        from repro.geometry import Polygon
+        from repro.instances import Event
+        from repro.temporal import Duration
+
+        # A mesh cell projected to a reference surface; the 3-d detail
+        # (vertices, edges, faces) rides in the value field.
+        footprint = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        mesh_detail = {
+            "vertices": [(0, 0, 5.0), (1, 0, 5.2), (1, 1, 4.9), (0, 1, 5.1)],
+            "faces": [(0, 1, 2), (0, 2, 3)],
+        }
+        cell = Event(footprint, Duration.instant(0.0), value=mesh_detail, data="cell-7")
+        assert cell.spatial_extent.area == 1.0
+        assert len(cell.value["faces"]) == 2
+
+    def test_mesh_events_selectable_and_convertible(self):
+        from repro.core import Selector
+        from repro.core.converters import Event2SmConverter
+        from repro.core.structures import SpatialMapStructure
+        from repro.engine import EngineContext
+        from repro.geometry import Envelope, Polygon
+        from repro.instances import Event
+        from repro.temporal import Duration
+
+        cells = [
+            Event(
+                Polygon([(i, 0), (i + 1, 0), (i + 1, 1), (i, 1)]),
+                Duration.instant(0.0),
+                value={"height": float(i)},
+                data=i,
+            )
+            for i in range(6)
+        ]
+        ctx = EngineContext(2)
+        selected = Selector(Envelope(0, 0, 3, 1), Duration(-1, 1)).select(ctx, cells)
+        assert selected.count() == 4  # cells 0-2 inside, cell 3 touches x=3
+        structure = SpatialMapStructure.regular(Envelope(0, 0, 6, 1), 3, 1)
+        merged = Event2SmConverter(structure).convert_merged(ctx.parallelize(cells, 2))
+        assert sum(len(v) for v in merged.cell_values()) >= 6
