@@ -1,0 +1,113 @@
+"""Execution-backend comparison on a CPU-bound extraction stage.
+
+Not a paper table — this validates the pluggable backend subsystem the
+way Table 7 validates executors: the same extraction stage (per-
+trajectory speed/length features, deliberately iterated to be CPU-bound)
+runs on the sequential, thread, and process backends and must produce
+
+* byte-identical collected results (element-wise — a process round-trip
+  legitimately breaks cross-element pickle memoization, so whole-list
+  byte equality is too strict for any multiprocess engine, Spark's
+  included), and
+* identical counted-work metric snapshots (tasks, stages, shuffle and
+  broadcast records are wall-clock-free, so they must not depend on who
+  executed the stage).
+
+On a multi-core box the process backend must also beat sequential
+wall-clock; with a single usable core the assertion is skipped with a
+printed note (threads/processes cannot beat a loop on one core).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+from benchmarks.conftest import fmt, print_table
+from repro.datasets import generate_porto_trajectories
+from repro.engine import EngineContext
+from repro.geometry.distance import haversine_distance
+
+N_TRAJECTORIES = 240
+NUM_PARTITIONS = 8
+WORKERS = 4
+#: Inner repetitions making the per-task compute dominate pickling cost;
+#: override for heavier runs: ``REPRO_BENCH_BACKEND_ITERS=200 pytest ...``
+WORK_ITERS = int(os.environ.get("REPRO_BENCH_BACKEND_ITERS", "40"))
+
+BACKENDS = ("sequential", "thread", "process")
+
+
+def heavy_feature(traj):
+    """CPU-bound per-trajectory extraction: iterated haversine length."""
+    points = [(e.spatial.x, e.spatial.y) for e in traj.entries]
+    acc = 0.0
+    for _ in range(WORK_ITERS):
+        for (lon1, lat1), (lon2, lat2) in zip(points, points[1:]):
+            acc += haversine_distance(lon1, lat1, lon2, lat2)
+    return (traj.data, round(acc, 6))
+
+
+def _run(backend: str, trajectories) -> tuple[list, dict, float]:
+    options = {"max_workers": WORKERS} if backend != "sequential" else {}
+    ctx = EngineContext(
+        default_parallelism=NUM_PARTITIONS, backend=backend, backend_options=options
+    )
+    try:
+        rdd = ctx.parallelize(trajectories, NUM_PARTITIONS).map(heavy_feature)
+        start = time.perf_counter()
+        result = rdd.collect()
+        elapsed = time.perf_counter() - start
+        return result, ctx.metrics.snapshot(), elapsed
+    finally:
+        ctx.stop()
+
+
+def test_backends_cpu_bound_extraction():
+    trajectories = generate_porto_trajectories(N_TRAJECTORIES, seed=105, days=30)
+
+    results, snapshots, times = {}, {}, {}
+    for backend in BACKENDS:
+        results[backend], snapshots[backend], times[backend] = _run(
+            backend, trajectories
+        )
+
+    rows = [
+        [
+            backend,
+            fmt(times[backend]),
+            f"{times['sequential'] / times[backend]:.2f}x",
+            snapshots[backend]["tasks"],
+            snapshots[backend]["records_out"],
+        ]
+        for backend in BACKENDS
+    ]
+    print_table(
+        f"Backend comparison — CPU-bound extraction "
+        f"({N_TRAJECTORIES} trajectories x {WORK_ITERS} iters, "
+        f"{NUM_PARTITIONS} partitions, {WORKERS} workers)",
+        ["backend", "wall-clock", "speedup", "tasks", "records"],
+        rows,
+    )
+
+    baseline = [pickle.dumps(item) for item in results["sequential"]]
+    for backend in BACKENDS[1:]:
+        assert [pickle.dumps(item) for item in results[backend]] == baseline, (
+            f"{backend} backend changed the collected results"
+        )
+        assert snapshots[backend] == snapshots["sequential"], (
+            f"{backend} backend changed the counted-work metrics"
+        )
+
+    cores = len(os.sched_getaffinity(0))
+    if cores >= 2:
+        assert times["process"] < times["sequential"], (
+            f"process backend ({fmt(times['process'])}) should beat sequential "
+            f"({fmt(times['sequential'])}) on a CPU-bound stage with {cores} cores"
+        )
+    else:
+        print(
+            "\nnote: only 1 usable core — process-vs-sequential wall-clock "
+            "assertion skipped (no parallel speedup is possible here)."
+        )

@@ -11,6 +11,7 @@ Run: ``pytest benchmarks/ --benchmark-only``
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -33,9 +34,14 @@ from repro.stio import save_dataset  # noqa: E402
 N_EVENTS = 20_000
 N_TRAJECTORIES = 1_500
 
+#: Execution backend every bench context uses; override per run with e.g.
+#: ``REPRO_BENCH_BACKEND=process pytest benchmarks/bench_fig5_selection.py``
+#: to compare Figure 5/7 numbers across backends.
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "sequential")
 
-def fresh_ctx() -> EngineContext:
-    return EngineContext(default_parallelism=8)
+
+def fresh_ctx(backend: str | None = None) -> EngineContext:
+    return EngineContext(default_parallelism=8, backend=backend or BENCH_BACKEND)
 
 
 @pytest.fixture(scope="session")

@@ -51,21 +51,26 @@ _GENERATORS = {
 }
 
 
+def _make_ctx(args: argparse.Namespace) -> EngineContext:
+    return EngineContext(default_parallelism=args.parallelism, backend=args.backend)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     kind, generator = _GENERATORS[args.dataset]
     instances = generator(args.records, args.seed)
-    ctx = EngineContext(default_parallelism=args.parallelism)
+    ctx = _make_ctx(args)
     partitioner = TSTRPartitioner(args.gt, args.gs) if args.indexed else None
     save_dataset(args.out, instances, kind, partitioner=partitioner, ctx=ctx)
     print(
         f"wrote {len(instances):,} {kind} records to {args.out} "
         f"({'T-STR indexed' if args.indexed else 'unindexed'})"
     )
+    ctx.stop()
     return 0
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    ctx = EngineContext(default_parallelism=args.parallelism)
+    ctx = _make_ctx(args)
     ds = StDataset(args.path)
     meta = ds.metadata()
     rdd, _ = ds.read(ctx)
@@ -79,6 +84,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"re-indexed {meta.total_records:,} records "
         f"({meta.instance_type}) with T-STR(gt={args.gt}, gs={args.gs})"
     )
+    ctx.stop()
     return 0
 
 
@@ -98,7 +104,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
     if spatial is None and temporal is None:
         print("select needs --bbox and/or --time", file=sys.stderr)
         return 2
-    ctx = EngineContext(default_parallelism=args.parallelism)
+    ctx = _make_ctx(args)
     from repro.core import Selector
 
     selector = Selector(spatial, temporal)
@@ -107,13 +113,14 @@ def _cmd_select(args: argparse.Namespace) -> int:
     count = selected.count()
     elapsed = time.perf_counter() - start
     stats = selector.last_load_stats
-    print(f"selected {count:,} records in {elapsed:.2f}s")
+    print(f"selected {count:,} records in {elapsed:.2f}s ({args.backend} backend)")
     if stats is not None:
         print(
             f"partitions read: {stats.partitions_read}/{stats.partitions_total}  "
             f"records deserialized: {stats.records_loaded:,}  "
             f"bytes read: {stats.bytes_read:,}"
         )
+    ctx.stop()
     return 0
 
 
@@ -139,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="ST4ML reproduction: dataset tooling"
     )
     parser.add_argument("--parallelism", type=int, default=8)
+    parser.add_argument(
+        "--backend",
+        choices=("sequential", "thread", "process"),
+        default="sequential",
+        help="stage-execution backend (process runs tasks on a multiprocess "
+        "pool with straggler re-execution)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesize a seeded dataset")

@@ -55,6 +55,14 @@ class Selector:
         Use per-partition R-tree filtering (on by default; ``False``
         degrades to a linear scan — the toggle in the paper's Selector
         constructor).
+    backend:
+        Run the selection on a dedicated execution backend
+        (``"sequential"`` | ``"thread"`` | ``"process"``).  Selection is
+        the scan-heavy stage, so it pays for parallelism even when the
+        rest of the pipeline stays sequential.  Because a backend override
+        cannot outlive ``select()``, the result is materialized eagerly
+        under that backend and returned as a source RDD.  ``None`` (the
+        default) keeps the context's backend and the usual lazy result.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class Selector:
         partitioner: "STPartitioner | None" = None,
         index: bool = True,
         duplicate: bool = False,
+        backend: str | None = None,
     ):
         if spatial is None and temporal is None:
             raise ValueError("a selector needs a spatial and/or temporal range")
@@ -74,6 +83,7 @@ class Selector:
         self.partitioner = partitioner
         self.index = index
         self.duplicate = duplicate
+        self.backend = backend
         #: I/O statistics of the last ``select`` from disk (Figure 5 data).
         self.last_load_stats: LoadStats | None = None
 
@@ -145,7 +155,16 @@ class Selector:
         loaded = self._load(ctx, source, use_metadata)
         selected = self._filter(loaded)
         if self.partitioner is not None:
-            return self.partitioner.partition(selected, duplicate=self.duplicate)
-        if self.num_partitions is not None and self.num_partitions != selected.num_partitions:
-            return selected.repartition(self.num_partitions)
-        return selected
+            selected = self.partitioner.partition(selected, duplicate=self.duplicate)
+        elif (
+            self.num_partitions is not None
+            and self.num_partitions != selected.num_partitions
+        ):
+            selected = selected.repartition(self.num_partitions)
+        if self.backend is None:
+            return selected
+        # Dedicated-backend selection is eager: the override is scoped to
+        # this call, so the scan must run now, not at a later action.
+        with ctx.using_backend(self.backend):
+            partitions = selected._collect_partitions()
+        return ctx.from_partitions(partitions)

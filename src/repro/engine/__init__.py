@@ -28,7 +28,20 @@ from repro.engine.rdd import RDD
 from repro.engine.broadcast import Broadcast
 from repro.engine.accumulators import Accumulator, counter
 from repro.engine.metrics import JobMetrics, TaskMetrics
-from repro.engine.errors import EngineError, TaskFailure
+from repro.engine.errors import (
+    EngineError,
+    TaskFailure,
+    TaskSerializationError,
+    TaskTimeout,
+)
+from repro.engine.exec import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 
 __all__ = [
     "EngineContext",
@@ -40,4 +53,12 @@ __all__ = [
     "TaskMetrics",
     "EngineError",
     "TaskFailure",
+    "TaskSerializationError",
+    "TaskTimeout",
+    "Backend",
+    "BACKENDS",
+    "SequentialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
 ]

@@ -3,34 +3,43 @@
 from __future__ import annotations
 
 import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from threading import Lock
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.engine.broadcast import Broadcast
 from repro.engine.errors import TaskFailure
+from repro.engine.exec import Backend, SequentialBackend, StageSpec, resolve_backend
 from repro.engine.metrics import JobMetrics, TaskMetrics
 
 T = TypeVar("T")
 
 
 class EngineContext:
-    """Owns RDD creation, the executor pool, broadcasts, and metrics.
+    """Owns RDD creation, the execution backend, broadcasts, and metrics.
 
     Parameters
     ----------
     default_parallelism:
         Partition count used when a transformation does not specify one —
-        the analog of ``spark.default.parallelism``.
+        the analog of ``spark.default.parallelism``.  Pool-based backends
+        also size their worker pools from it.
     parallel:
-        When true, independent tasks of a stage run on a thread pool of
-        ``default_parallelism`` workers.  The default is sequential
-        execution, which keeps benchmark timings deterministic; the engine's
-        counted-work metrics are identical either way.
+        Back-compat alias: ``parallel=True`` selects the thread backend
+        (the behavior this flag historically enabled).  Ignored when
+        ``backend`` is given.
     max_task_retries:
         How many times a failing task is retried before the job aborts
         (``spark.task.maxFailures``).
+    backend:
+        Stage-execution strategy: a name (``"sequential"`` | ``"thread"``
+        | ``"process"``), a :class:`~repro.engine.exec.Backend` instance,
+        or ``None`` for the default.  Sequential execution keeps benchmark
+        timings deterministic; the engine's counted-work metrics are
+        identical on every backend.
+    backend_options:
+        Extra constructor kwargs for a backend given by name (e.g.
+        ``{"task_timeout": 30.0}`` for the process backend).
     """
 
     def __init__(
@@ -38,21 +47,67 @@ class EngineContext:
         default_parallelism: int = 8,
         parallel: bool = False,
         max_task_retries: int = 3,
+        backend: "str | Backend | None" = None,
+        backend_options: dict | None = None,
     ):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be positive")
         if max_task_retries < 1:
             raise ValueError("max_task_retries must be positive")
         self.default_parallelism = default_parallelism
-        self.parallel = parallel
         self.max_task_retries = max_task_retries
         self.metrics = JobMetrics()
-        self._pool: ThreadPoolExecutor | None = None
+        if backend is None:
+            backend = "thread" if parallel else "sequential"
+        self._backend = resolve_backend(backend, default_parallelism, backend_options)
+        self._inline = SequentialBackend()
         self._metrics_lock = Lock()
         self._in_task = threading.local()
+        #: True on the pickled copy of this context living inside a
+        #: process-pool worker: every stage there runs inline.
+        self._worker_side = False
         #: Test hook: callable ``(partition, attempt) -> None`` invoked before
         #: each task attempt; raising simulates an executor fault.
         self.task_failure_injector: Callable[[int, int], None] | None = None
+
+    # -- backend selection --------------------------------------------------------
+
+    @property
+    def backend(self) -> Backend:
+        """The active stage-execution backend."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend."""
+        return self._backend.name
+
+    @property
+    def parallel(self) -> bool:
+        """True when stages run on a worker pool (back-compat view)."""
+        return self._backend.name != "sequential"
+
+    @contextmanager
+    def using_backend(
+        self, backend: "str | Backend", **options: Any
+    ) -> Iterator["EngineContext"]:
+        """Temporarily execute stages on a different backend.
+
+        Only *eager* work inside the block is affected — lazy RDDs
+        evaluated after the block use the context's regular backend.  A
+        backend created here from a name is stopped on exit; a passed-in
+        instance is left running for its owner.
+        """
+        previous = self._backend
+        replacement = resolve_backend(backend, self.default_parallelism, options or None)
+        owned = replacement is not backend
+        self._backend = replacement
+        try:
+            yield self
+        finally:
+            self._backend = previous
+            if owned:
+                replacement.stop()
 
     # -- RDD creation -----------------------------------------------------------
 
@@ -118,55 +173,67 @@ class EngineContext:
     ) -> list[list]:
         """Execute ``task`` for every partition index and gather outputs.
 
-        Each task is retried on failure up to ``max_task_retries`` times.
-        Metrics (records out, elapsed, attempts) are recorded per task.
+        Execution is delegated to the configured backend; each task is
+        retried on failure up to ``max_task_retries`` times, and per-task
+        metrics — records out, elapsed, attempts, retry overhead, worker,
+        speculative wins — are merged into :attr:`metrics`.
         """
         with self._metrics_lock:
             self.metrics.stages += 1
 
-        def run_one(partition: int) -> list:
-            last_error: BaseException | None = None
-            for attempt in range(1, self.max_task_retries + 1):
-                start = time.perf_counter()
-                try:
-                    if self.task_failure_injector is not None:
-                        self.task_failure_injector(partition, attempt)
-                    result = task(partition)
-                except Exception as exc:  # noqa: BLE001 - retry any task error
-                    last_error = exc
-                    continue
-                elapsed = time.perf_counter() - start
-                with self._metrics_lock:
-                    self.metrics.record_task(
-                        TaskMetrics(
-                            partition=partition,
-                            records_out=len(result),
-                            elapsed_seconds=elapsed,
-                            attempts=attempt,
-                        )
+        def tracked(partition: int) -> list:
+            # Mark "inside a task" so nested stages (a shuffle's map side
+            # evaluated from within a pool worker) run inline instead of
+            # being resubmitted to a pool whose workers are all blocked on
+            # the shuffle lock — a deadlock.
+            previous = getattr(self._in_task, "active", False)
+            self._in_task.active = True
+            try:
+                return task(partition)
+            finally:
+                self._in_task.active = previous
+
+        spec = StageSpec(
+            num_partitions=num_partitions,
+            task=tracked,
+            max_task_retries=self.max_task_retries,
+            failure_injector=self.task_failure_injector,
+        )
+        nested = getattr(self._in_task, "active", False) or self._worker_side
+        backend = self._inline if nested or num_partitions == 1 else self._backend
+        try:
+            stage = backend.run_stage(spec)
+        except TaskFailure as failure:
+            with self._metrics_lock:
+                self.metrics.record_failed_task(
+                    TaskMetrics(
+                        partition=failure.partition,
+                        records_out=0,
+                        elapsed_seconds=0.0,
+                        attempts=failure.attempts,
+                        failed_attempts=failure.attempts,
+                        failed_seconds=failure.elapsed_seconds,
                     )
-                return result
-            raise TaskFailure(partition, self.max_task_retries, last_error)
-
-        # Nested stages (a shuffle's map side evaluated from inside a pool
-        # worker) must not be submitted back to the same pool: the outer
-        # tasks occupy every worker while blocking on the shuffle lock, so
-        # the inner futures would never be scheduled — a deadlock.  Run
-        # nested stages inline on the calling worker instead.
-        nested = getattr(self._in_task, "active", False)
-        if self.parallel and num_partitions > 1 and not nested:
-            pool = self._ensure_pool()
-
-            def run_in_worker(partition: int) -> list:
-                self._in_task.active = True
-                try:
-                    return run_one(partition)
-                finally:
-                    self._in_task.active = False
-
-            futures = [pool.submit(run_in_worker, i) for i in range(num_partitions)]
-            return [f.result() for f in futures]
-        return [run_one(i) for i in range(num_partitions)]
+                )
+            raise
+        outcomes = sorted(stage.outcomes, key=lambda o: o.partition)
+        with self._metrics_lock:
+            self.metrics.speculative_launched += stage.speculative_launched
+            self.metrics.speculative_wins += stage.speculative_wins
+            for outcome in outcomes:
+                self.metrics.record_task(
+                    TaskMetrics(
+                        partition=outcome.partition,
+                        records_out=len(outcome.result),
+                        elapsed_seconds=outcome.elapsed_seconds,
+                        attempts=outcome.attempts,
+                        failed_attempts=outcome.failed_attempts,
+                        failed_seconds=outcome.failed_seconds,
+                        worker=outcome.worker,
+                        speculative=outcome.speculative,
+                    )
+                )
+        return [outcome.result for outcome in outcomes]
 
     def record_shuffle(self, records: int) -> None:
         """Meter one shuffle's record volume."""
@@ -174,18 +241,38 @@ class EngineContext:
             self.metrics.shuffle_records += records
             self.metrics.shuffle_count += 1
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.default_parallelism)
-        return self._pool
+    # -- pickling (process backend ships the context inside task closures) ----------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Locks, thread-locals, and worker pools don't pickle — and the
+        # worker-side copy must never dispatch to a pool anyway.  Metrics
+        # history stays driver-side; workers report through task outcomes.
+        state["_metrics_lock"] = None
+        state["_in_task"] = None
+        state["_backend"] = None
+        state["metrics"] = JobMetrics()
+        state["_worker_side"] = True
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._metrics_lock = Lock()
+        self._in_task = threading.local()
+        self._backend = SequentialBackend()
+
+    # -- back-compat -----------------------------------------------------------------
+
+    @property
+    def _pool(self):
+        """Legacy peek at the thread backend's pool (None otherwise)."""
+        return getattr(self._backend, "_pool", None)
 
     # -- lifecycle ----------------------------------------------------------------------
 
     def stop(self) -> None:
-        """Shut the executor pool down."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the backend's worker pool down."""
+        self._backend.stop()
 
     def __enter__(self) -> "EngineContext":
         return self
@@ -194,5 +281,7 @@ class EngineContext:
         self.stop()
 
     def __repr__(self) -> str:
-        mode = "parallel" if self.parallel else "sequential"
-        return f"EngineContext(parallelism={self.default_parallelism}, {mode})"
+        return (
+            f"EngineContext(parallelism={self.default_parallelism}, "
+            f"backend={self._backend.name})"
+        )

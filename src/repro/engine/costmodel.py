@@ -76,6 +76,27 @@ class CostEstimate:
         }
 
 
+def suggest_task_chunks(
+    num_tasks: int,
+    n_workers: int,
+    target_waves: int = 3,
+) -> int:
+    """Chunk size for batching stage tasks onto a worker pool.
+
+    Dispatching one pool job per task maximizes balance but pays a
+    serialization round-trip per task; one job per worker minimizes
+    overhead but lets a straggling chunk gate the stage.  The model picks
+    the coarsest chunking that still gives each worker ``target_waves``
+    chunks, so late chunks can level out skew — the same straggler-gating
+    argument :func:`estimate_cost` applies to partitions.
+    """
+    if num_tasks <= 0:
+        return 1
+    if n_workers < 1 or target_waves < 1:
+        raise ValueError("workers and target_waves must be positive")
+    return max(1, num_tasks // (n_workers * target_waves))
+
+
 def estimate_cost(
     metrics: JobMetrics,
     profile: ClusterProfile | None = None,

@@ -12,12 +12,60 @@ class TaskFailure(EngineError):
 
     The executor retries a failed task up to ``EngineContext.max_task_retries``
     times (Spark's ``spark.task.maxFailures`` analog) before surfacing this.
+    ``elapsed_seconds`` is the wall-clock wasted across the failed attempts,
+    so retry overhead stays visible in :class:`~repro.engine.metrics.JobMetrics`
+    even when a stage ultimately aborts.
     """
 
-    def __init__(self, partition: int, attempts: int, cause: BaseException):
+    def __init__(
+        self,
+        partition: int,
+        attempts: int,
+        cause: BaseException | None,
+        elapsed_seconds: float = 0.0,
+    ):
         super().__init__(
             f"task for partition {partition} failed after {attempts} attempt(s): {cause!r}"
         )
         self.partition = partition
         self.attempts = attempts
         self.cause = cause
+        self.elapsed_seconds = elapsed_seconds
+
+    def __reduce__(self):
+        # Process-pool workers ship this exception back through pickle; the
+        # default exception reduction would replay __init__ with the message
+        # string only, losing the structured fields.
+        return (
+            TaskFailure,
+            (self.partition, self.attempts, self.cause, self.elapsed_seconds),
+        )
+
+
+class TaskSerializationError(EngineError):
+    """A stage could not be shipped to a process-pool worker.
+
+    Raised by the process backend when pickling the stage's task closure
+    (the RDD lineage, the context, or the failure injector) fails.  The
+    fix is to keep everything the stage references picklable — module-level
+    functions instead of objects holding locks/files/sockets; with
+    ``cloudpickle`` installed, lambdas and local closures are fine.
+    """
+
+
+class TaskTimeout(EngineError):
+    """A task exceeded the process backend's per-task timeout.
+
+    Used as the ``cause`` of the :class:`TaskFailure` raised once every
+    re-execution of a timed-out task has also exceeded the budget.
+    """
+
+    def __init__(self, partition: int, timeout_seconds: float):
+        super().__init__(
+            f"task for partition {partition} exceeded {timeout_seconds:.3f}s timeout"
+        )
+        self.partition = partition
+        self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (TaskTimeout, (self.partition, self.timeout_seconds))

@@ -1,0 +1,75 @@
+"""Pluggable stage-execution backends.
+
+``EngineContext.run_stage`` delegates the actual running of a stage's
+tasks to a :class:`Backend`:
+
+* :class:`SequentialBackend` — inline, deterministic; the default.
+* :class:`ThreadBackend` — shared-memory thread pool; good for I/O-bound
+  or GIL-releasing tasks.
+* :class:`ProcessBackend` — multiprocess pool with pickled task closures,
+  cost-model-sized chunks, worker warm-up/reuse, per-task timeouts, and
+  speculative straggler re-execution.
+
+Select one at construction (``EngineContext(backend="process")``), per
+call site (``ctx.using_backend("thread")``), on the CLI (``--backend``),
+or per benchmark run (``REPRO_BENCH_BACKEND=process``).
+"""
+
+from __future__ import annotations
+
+from repro.engine.exec.base import (
+    Backend,
+    StageResult,
+    StageSpec,
+    TaskOutcome,
+    run_task_attempts,
+)
+from repro.engine.exec.process import HAS_CLOUDPICKLE, ProcessBackend
+from repro.engine.exec.sequential import SequentialBackend
+from repro.engine.exec.thread import ThreadBackend
+
+BACKENDS: dict[str, type[Backend]] = {
+    SequentialBackend.name: SequentialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def resolve_backend(
+    spec: "str | Backend | None",
+    parallelism: int,
+    options: dict | None = None,
+) -> Backend:
+    """Turn a backend spec into an instance.
+
+    ``spec`` may be an existing :class:`Backend` (returned as-is, options
+    ignored), a registry name, or ``None`` (sequential).  Pool-based
+    backends default their worker count to ``parallelism``.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    name = (spec or "sequential").lower()
+    cls = BACKENDS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose one of {sorted(BACKENDS)}"
+        )
+    if cls is SequentialBackend:
+        return cls()
+    kwargs = {"max_workers": parallelism, **(options or {})}
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Backend",
+    "BACKENDS",
+    "HAS_CLOUDPICKLE",
+    "ProcessBackend",
+    "SequentialBackend",
+    "StageResult",
+    "StageSpec",
+    "TaskOutcome",
+    "ThreadBackend",
+    "resolve_backend",
+    "run_task_attempts",
+]

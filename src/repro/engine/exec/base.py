@@ -1,0 +1,134 @@
+"""The execution-backend contract.
+
+A :class:`Backend` runs the tasks of one stage — one task per partition —
+and returns per-task :class:`TaskOutcome` records.  The engine context
+owns everything around the backend: stage counting, nested-stage inlining,
+metrics merging, and failure surfacing.  Backends own *how* the tasks run:
+inline, on a thread pool, or on a process pool with speculative retry.
+
+The retry loop itself (:func:`run_task_attempts`) is shared: every backend
+— and every process-pool worker — executes task attempts the same way, so
+retry accounting is identical no matter where a task lands.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.errors import TaskFailure
+
+
+@dataclass
+class StageSpec:
+    """Everything a backend needs to execute one stage.
+
+    ``task`` maps a partition index to that partition's output list;
+    ``failure_injector`` is the engine's test hook, invoked before each
+    attempt (raising simulates an executor fault).
+    """
+
+    num_partitions: int
+    task: Callable[[int], list]
+    max_task_retries: int = 3
+    failure_injector: Callable[[int, int], None] | None = None
+
+
+@dataclass
+class TaskOutcome:
+    """One finished task: its result plus execution accounting.
+
+    ``attempts`` is the 1-based attempt that succeeded; ``failed_attempts``
+    and ``failed_seconds`` meter the retry overhead that preceded it;
+    ``worker`` identifies the executor (thread name, process pid, or
+    ``"driver"``); ``speculative`` marks results produced by a speculative
+    re-execution that beat the original copy.
+    """
+
+    partition: int
+    result: list
+    elapsed_seconds: float
+    attempts: int = 1
+    failed_attempts: int = 0
+    failed_seconds: float = 0.0
+    worker: str = "driver"
+    speculative: bool = False
+
+
+@dataclass
+class StageResult:
+    """A backend's report for one stage."""
+
+    outcomes: list[TaskOutcome] = field(default_factory=list)
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+
+
+def run_task_attempts(
+    task: Callable[[int], list],
+    partition: int,
+    max_task_retries: int,
+    failure_injector: Callable[[int, int], None] | None = None,
+    worker: str = "driver",
+) -> TaskOutcome:
+    """Run one task with the engine's retry semantics.
+
+    Failed attempts are timed and counted so retry overhead is visible in
+    metrics; after ``max_task_retries`` failures a :class:`TaskFailure`
+    carrying the accumulated wasted time is raised.
+    """
+    last_error: BaseException | None = None
+    failed_attempts = 0
+    failed_seconds = 0.0
+    for attempt in range(1, max_task_retries + 1):
+        start = time.perf_counter()
+        try:
+            if failure_injector is not None:
+                failure_injector(partition, attempt)
+            result = task(partition)
+        except Exception as exc:  # noqa: BLE001 - retry any task error
+            failed_attempts += 1
+            failed_seconds += time.perf_counter() - start
+            last_error = exc
+            continue
+        return TaskOutcome(
+            partition=partition,
+            result=result,
+            elapsed_seconds=time.perf_counter() - start,
+            attempts=attempt,
+            failed_attempts=failed_attempts,
+            failed_seconds=failed_seconds,
+            worker=worker,
+        )
+    raise TaskFailure(partition, max_task_retries, last_error, elapsed_seconds=failed_seconds)
+
+
+class Backend(ABC):
+    """Strategy for executing the tasks of a stage."""
+
+    #: Registry / display name ("sequential", "thread", "process").
+    name: str = "abstract"
+
+    #: True when tasks cross a process boundary: the stage's task closure
+    #: (and everything it references — the RDD lineage, the context, the
+    #: failure injector) must be picklable, and the engine materializes
+    #: shuffle dependencies driver-side before dispatch so workers never
+    #: recompute a map stage.
+    requires_serializable_tasks: bool = False
+
+    @abstractmethod
+    def run_stage(self, spec: StageSpec) -> StageResult:
+        """Execute every task of ``spec`` and return their outcomes.
+
+        Outcomes may be returned in any order; the context sorts them by
+        partition before merging metrics.  A permanently failing task
+        raises :class:`TaskFailure`.
+        """
+
+    def stop(self) -> None:
+        """Release pools/processes. Idempotent; the backend may be reused."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,27 @@
+"""Inline execution — the default, deterministic backend."""
+
+from __future__ import annotations
+
+from repro.engine.exec.base import Backend, StageResult, StageSpec, run_task_attempts
+
+
+class SequentialBackend(Backend):
+    """Run every task inline on the calling thread.
+
+    This is the default: wall-clock timings are deterministic and the
+    counted-work metrics are identical to the parallel backends', which is
+    what keeps benchmark comparisons honest.  It is also the engine's
+    fallback for nested stages (a shuffle's map side evaluated from inside
+    a pool worker must not be resubmitted to the same pool).
+    """
+
+    name = "sequential"
+
+    def run_stage(self, spec: StageSpec) -> StageResult:
+        outcomes = [
+            run_task_attempts(
+                spec.task, partition, spec.max_task_retries, spec.failure_injector
+            )
+            for partition in range(spec.num_partitions)
+        ]
+        return StageResult(outcomes)

@@ -16,12 +16,25 @@ from dataclasses import dataclass, field
 
 @dataclass
 class TaskMetrics:
-    """Metrics for one task (= one partition of one stage)."""
+    """Metrics for one task (= one partition of one stage).
+
+    ``attempts`` is the 1-based attempt that produced the result;
+    ``failed_attempts``/``failed_seconds`` meter the retry overhead that
+    preceded it (for a permanently failed task, recorded separately in
+    :attr:`JobMetrics.failed_tasks`, every attempt failed and
+    ``elapsed_seconds`` is 0).  ``worker`` names the executor that ran the
+    winning attempt — ``"driver"``, a thread name, or a process pid —
+    and ``speculative`` marks wins by a straggler re-execution.
+    """
 
     partition: int
     records_out: int = 0
     elapsed_seconds: float = 0.0
     attempts: int = 1
+    failed_attempts: int = 0
+    failed_seconds: float = 0.0
+    worker: str = "driver"
+    speculative: bool = False
 
 
 @dataclass
@@ -35,15 +48,26 @@ class JobMetrics:
     """
 
     tasks: list[TaskMetrics] = field(default_factory=list)
+    failed_tasks: list[TaskMetrics] = field(default_factory=list)
     shuffle_records: int = 0
     shuffle_count: int = 0
     broadcast_count: int = 0
     broadcast_records: int = 0
     stages: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
 
     def record_task(self, task: TaskMetrics) -> None:
         """Append one finished task's metrics."""
         self.tasks.append(task)
+
+    def record_failed_task(self, task: TaskMetrics) -> None:
+        """Append a permanently failed task (stage aborted after retries).
+
+        Failed attempts still consumed executor time; recording them keeps
+        retry overhead visible even when the job dies.
+        """
+        self.failed_tasks.append(task)
 
     @property
     def task_count(self) -> int:
@@ -60,17 +84,91 @@ class JobMetrics:
         """Summed task wall-clock (not critical path)."""
         return sum(t.elapsed_seconds for t in self.tasks)
 
+    @property
+    def total_attempts(self) -> int:
+        """Every attempt launched, successful or not, across all tasks."""
+        return sum(t.attempts for t in self.tasks) + sum(
+            t.attempts for t in self.failed_tasks
+        )
+
+    @property
+    def failed_attempts(self) -> int:
+        """Attempts that raised — the retry volume."""
+        return sum(t.failed_attempts for t in self.tasks) + sum(
+            t.failed_attempts for t in self.failed_tasks
+        )
+
+    @property
+    def retry_seconds(self) -> float:
+        """Wall-clock wasted in failed attempts (retry overhead)."""
+        return sum(t.failed_seconds for t in self.tasks) + sum(
+            t.failed_seconds for t in self.failed_tasks
+        )
+
+    def per_worker_elapsed(self) -> dict[str, list[float]]:
+        """Successful-task elapsed times grouped by executing worker."""
+        by_worker: dict[str, list[float]] = {}
+        for task in self.tasks:
+            by_worker.setdefault(task.worker, []).append(task.elapsed_seconds)
+        return by_worker
+
+    def worker_summary(self) -> dict[str, dict]:
+        """Per-worker digest: task count, total/max elapsed, speculative wins."""
+        summary: dict[str, dict] = {}
+        for task in self.tasks:
+            row = summary.setdefault(
+                task.worker,
+                {"tasks": 0, "elapsed": 0.0, "max_elapsed": 0.0, "speculative_wins": 0},
+            )
+            row["tasks"] += 1
+            row["elapsed"] += task.elapsed_seconds
+            row["max_elapsed"] = max(row["max_elapsed"], task.elapsed_seconds)
+            row["speculative_wins"] += 1 if task.speculative else 0
+        return summary
+
+    def worker_histogram(self, bins: int = 8) -> dict:
+        """Per-worker elapsed histograms over shared linear bin edges.
+
+        Returns ``{"edges": [...], "workers": {worker: [count per bin]}}``;
+        a shared scale makes slow workers directly comparable.
+        """
+        if bins < 1:
+            raise ValueError("bins must be positive")
+        per_worker = self.per_worker_elapsed()
+        all_elapsed = [e for values in per_worker.values() for e in values]
+        if not all_elapsed:
+            return {"edges": [], "workers": {}}
+        low, high = min(all_elapsed), max(all_elapsed)
+        span = (high - low) or 1e-9
+        edges = [low + span * i / bins for i in range(bins + 1)]
+        workers = {}
+        for worker, values in per_worker.items():
+            counts = [0] * bins
+            for e in values:
+                idx = min(int((e - low) / span * bins), bins - 1)
+                counts[idx] += 1
+            workers[worker] = counts
+        return {"edges": edges, "workers": workers}
+
     def reset(self) -> None:
         """Zero all counters."""
         self.tasks.clear()
+        self.failed_tasks.clear()
         self.shuffle_records = 0
         self.shuffle_count = 0
         self.broadcast_count = 0
         self.broadcast_records = 0
         self.stages = 0
+        self.speculative_launched = 0
+        self.speculative_wins = 0
 
     def snapshot(self) -> dict:
-        """A plain-dict summary convenient for benchmark reports."""
+        """A plain-dict summary convenient for benchmark reports.
+
+        Contains only counted work (no timings), so identical pipelines
+        produce identical snapshots on every backend — the cross-backend
+        equivalence the backend tests and benches assert.
+        """
         return {
             "tasks": self.task_count,
             "stages": self.stages,
@@ -79,6 +177,8 @@ class JobMetrics:
             "shuffles": self.shuffle_count,
             "broadcasts": self.broadcast_count,
             "broadcast_records": self.broadcast_records,
+            "attempts": self.total_attempts,
+            "failed_attempts": self.failed_attempts,
         }
 
 

@@ -78,7 +78,36 @@ class RDD(Generic[T]):
 
     def _collect_partitions(self) -> list[list]:
         """Run a stage over all partitions and return their contents."""
+        if self.ctx.backend.requires_serializable_tasks and not self.ctx._worker_side:
+            self._materialize_shuffle_deps()
         return self.ctx.run_stage(self.num_partitions, self._partition)
+
+    def _materialize_shuffle_deps(self) -> None:
+        """Materialize every shuffle in the lineage driver-side, deepest first.
+
+        Process-pool workers each hold a *copy* of the lineage: if a
+        shuffle's buckets were still lazy at dispatch, every worker would
+        independently re-run the whole map side (and its shuffle counters
+        would be lost with the worker's context copy).  Forcing shuffles
+        bottom-up in the driver keeps exactly one map stage per shuffle —
+        the same stage decomposition the pull-based evaluation performs —
+        and ships the materialized buckets to workers as plain data.
+        """
+        ordered: list[_ShuffledRDD] = []
+        seen: set[int] = set()
+
+        def walk(rdd: "RDD") -> None:
+            if id(rdd) in seen:
+                return
+            seen.add(id(rdd))
+            for parent in rdd._parents():
+                walk(parent)
+            if isinstance(rdd, _ShuffledRDD):
+                ordered.append(rdd)
+
+        walk(self)
+        for shuffled in ordered:  # post-order: dependencies before dependents
+            shuffled._ensure_shuffled()
 
     # -- caching ------------------------------------------------------------------------
 
@@ -752,6 +781,17 @@ class _ShuffledRDD(RDD):
     @property
     def _combine(self) -> bool:
         return self._create is not None
+
+    def __getstate__(self) -> dict:
+        # Shipped to process-pool workers inside task closures; the lock
+        # guards driver-side materialization and must not travel.
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = Lock()
 
     def _ensure_shuffled(self) -> list[list]:
         with self._lock:

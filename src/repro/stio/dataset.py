@@ -63,6 +63,21 @@ class _DiskPartitionRDD(RDD):
         self._stats.files.append(meta.filename)
         return [decode_record(r) for r in records]
 
+    def __getstate__(self):
+        # Shipping this source to process workers means the blocks are read
+        # worker-side, where mutations of the driver's LoadStats are
+        # invisible.  Account for the whole read now, from metadata — exact,
+        # since block count and file size equal what _compute observes.
+        # Skip when the driver already read the blocks itself (e.g. shuffle
+        # pre-materialization ran the map stage inline before shipping).
+        if self._stats.partitions_read == 0:
+            for meta in self._metas:
+                self._stats.partitions_read += 1
+                self._stats.records_loaded += meta.count
+                self._stats.bytes_read += (self._directory / meta.filename).stat().st_size
+                self._stats.files.append(meta.filename)
+        return dict(self.__dict__)
+
 
 class StDataset:
     """A directory holding one block file per partition + ``metadata.json``.

@@ -8,6 +8,7 @@ same small pipeline in two fresh subprocesses (different hash seeds) and
 compare the results byte for byte.
 """
 
+import os
 import subprocess
 import sys
 
@@ -39,11 +40,18 @@ print(json.dumps({
 
 
 def run_in_subprocess(hash_seed: str) -> str:
+    # A scrubbed env controls the hash seed, but the child still needs to
+    # find `repro`: propagate this interpreter's import path (covers both
+    # PYTHONPATH-based and installed layouts) into the child's PYTHONPATH.
     result = subprocess.run(
         [sys.executable, "-c", _SCRIPT],
         capture_output=True,
         text=True,
-        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": os.pathsep.join(p for p in sys.path if p),
+        },
         timeout=120,
     )
     assert result.returncode == 0, result.stderr

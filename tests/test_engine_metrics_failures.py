@@ -64,6 +64,7 @@ class TestShuffleAccounting:
         assert set(snap) == {
             "tasks", "stages", "records_out", "shuffle_records",
             "shuffles", "broadcasts", "broadcast_records",
+            "attempts", "failed_attempts",
         }
 
 
@@ -125,6 +126,35 @@ class TestFailureInjection:
         ctx.task_failure_injector = flaky
         ctx.parallelize(range(4), 2).collect()
         assert all(t.attempts == 2 for t in ctx.metrics.tasks)
+
+    def test_retry_overhead_recorded(self, ctx):
+        import time as _time
+
+        def flaky(partition, attempt):
+            if attempt == 1:
+                _time.sleep(0.002)
+                raise RuntimeError("first attempt dies")
+
+        ctx.task_failure_injector = flaky
+        ctx.parallelize(range(4), 2).collect()
+        assert ctx.metrics.failed_attempts == 2
+        assert ctx.metrics.retry_seconds > 0.0
+        assert ctx.metrics.total_attempts == 4
+
+    def test_permanent_failure_records_failed_task(self, ctx):
+        def always_fail(partition, attempt):
+            if partition == 0:
+                raise RuntimeError("dead executor")
+
+        ctx.task_failure_injector = always_fail
+        with pytest.raises(TaskFailure):
+            ctx.parallelize(range(10), 2).collect()
+        assert len(ctx.metrics.failed_tasks) == 1
+        failed = ctx.metrics.failed_tasks[0]
+        assert failed.partition == 0
+        assert failed.attempts == ctx.max_task_retries
+        assert failed.failed_attempts == ctx.max_task_retries
+        assert ctx.metrics.failed_attempts >= ctx.max_task_retries
 
 
 class TestParallelMode:
