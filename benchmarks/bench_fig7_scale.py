@@ -12,7 +12,7 @@ from __future__ import annotations
 from benchmarks.conftest import Stopwatch, fmt, fresh_ctx, print_table
 from repro.apps import anomaly, hourly_flow
 from repro.baselines import GeoMesaLike, GeoSparkLike
-from repro.datasets import NYC_BBOX, generate_nyc_events
+from repro.datasets import generate_nyc_events
 from repro.datasets.common import EPOCH_2013
 from repro.geometry import Envelope
 from repro.partitioners import TSTRPartitioner

@@ -14,7 +14,6 @@ import pytest
 
 from benchmarks.conftest import fresh_ctx
 from repro.core import Selector
-from repro.datasets import NYC_BBOX
 from repro.datasets.common import EPOCH_2013
 from repro.geometry import Envelope
 from repro.index import GridIndex, RTree, STBox

@@ -1,0 +1,42 @@
+"""Static analysis for distributed correctness (``repro lint``).
+
+The engine ships user closures into tasks — across threads today, across
+processes on the ``process`` backend — and the classic Spark failure
+modes (unpicklable captures, nondeterministic stage functions, mutated
+broadcast state, impure partitioners) all surface only at run time,
+often only at scale.  This package catches them first:
+
+* :func:`lint_paths` / :func:`lint_source` — run the AST rule catalogue
+  (:mod:`repro.analysis.rules`) over files or source text;
+* ``repro lint`` — the CLI front end, with ``--format github`` for CI
+  annotations and ``# repro: noqa[RULE]`` inline suppressions;
+* the runtime complement lives in :mod:`repro.engine.sanitizer`
+  (``EngineContext(strict=True)``): pickle round-trips and captured-state
+  snapshots give the static rules a dynamic backstop.
+"""
+
+from repro.analysis.findings import Finding, Severity, Suppressions
+from repro.analysis.formats import FORMATS, render
+from repro.analysis.rules import RULES, LintOptions, Rule, rules_by_id
+from repro.analysis.runner import (
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Suppressions",
+    "FORMATS",
+    "render",
+    "RULES",
+    "Rule",
+    "LintOptions",
+    "rules_by_id",
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,596 @@
+"""Stage-closure discovery and capture analysis.
+
+The engine ships user functions into distributed tasks at well-known call
+sites: RDD transformations (``rdd.map(f)``), ``EngineContext.run_stage``,
+``shuffle_by`` assigners, and the converter / partitioner hook methods.
+This module finds those *stage closures* in an AST and answers the two
+questions every distributed-correctness rule needs:
+
+1. **Which functions run inside tasks?**  (:attr:`ModuleAnalysis.stage_closures`)
+2. **What does each one capture from enclosing scopes, and what is the
+   captured name bound to there?**  (:meth:`ModuleAnalysis.captures`)
+
+The analysis is deliberately heuristic — it resolves names lexically, not
+through imports — which is the same trade Spark's ClosureCleaner makes:
+catch the common, costly mistakes cheaply, before a job runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+#: RDD / context methods whose callable arguments execute inside tasks.
+STAGE_METHODS = frozenset(
+    {
+        "map",
+        "filter",
+        "flat_map",
+        "map_partitions",
+        "map_partitions_with_index",
+        "key_by",
+        "map_values",
+        "flat_map_values",
+        "group_by",
+        "sort_by",
+        "shuffle_by",
+        "zip_partitions",
+        "reduce_by_key",
+        "fold_by_key",
+        "aggregate_by_key",
+        "combine_by_key",
+        "reduce",
+        "fold",
+        "aggregate",
+        "foreach",
+        "run_stage",
+        "top",
+        "take_ordered",
+    }
+)
+
+#: Methods that, when defined on a partitioner / converter / extractor
+#: subclass, are themselves executed inside tasks.
+HOOK_METHODS = frozenset(
+    {"assign", "assign_all", "partition_for", "map_value", "map_value_plus"}
+)
+
+#: Base-class name fragments that mark a class's hook methods as
+#: task-executed (subclasses of the partitioner / converter contracts).
+HOOK_BASE_FRAGMENTS = ("Partitioner", "Converter", "Extractor")
+
+#: Calls that produce an RDD — used to classify captured bindings.  Not
+#: simply ``STAGE_METHODS``: actions (``reduce``, ``top``, …) return plain
+#: values, and ``sample`` would collide with ``random.Random.sample``.
+RDD_PRODUCER_METHODS = frozenset(
+    {
+        "parallelize",
+        "from_partitions",
+        "empty_rdd",
+        "union",
+        "repartition",
+        "coalesce",
+        "distinct",
+        "group_by_key",
+        "reduce_by_key",
+        "fold_by_key",
+        "aggregate_by_key",
+        "combine_by_key",
+        "map",
+        "filter",
+        "flat_map",
+        "map_partitions",
+        "map_partitions_with_index",
+        "key_by",
+        "map_values",
+        "flat_map_values",
+        "shuffle_by",
+        "sort_by",
+        "sort_by_key",
+        "persist",
+        "cache",
+        "checkpoint",
+        "select",
+        "partition",
+    }
+)
+
+#: Method names whose invocation on a captured object mutates it.  ``add``
+#: is deliberately absent: ``captured.add(x)`` is the accumulator protocol
+#: (engine ``Accumulator`` / ``AllocationStats``), the sanctioned way for
+#: tasks to report side-band counters.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "discard",
+        "sort",
+        "reverse",
+        "appendleft",
+        "popleft",
+        "extendleft",
+        "__setitem__",
+        "__delitem__",
+    }
+)
+
+#: Names conventionally bound to the engine context.
+CONTEXT_NAMES = frozenset({"ctx", "context", "sc", "engine_ctx", "spark"})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_COMPREHENSION_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@dataclass
+class Binding:
+    """One name binding in a scope: where it lives and what it's bound to."""
+
+    name: str
+    scope_node: ast.AST  # Module / FunctionDef / Lambda / ClassDef
+    values: list[ast.expr] = field(default_factory=list)  # assigned exprs
+    is_param: bool = False
+    annotation: str | None = None
+    is_import: bool = False
+    is_function_def: bool = False
+
+    @property
+    def in_module_scope(self) -> bool:
+        return isinstance(self.scope_node, ast.Module)
+
+
+@dataclass
+class StageClosure:
+    """A function the engine will execute inside a task."""
+
+    node: ast.AST  # FunctionDef | Lambda
+    name: str
+    reason: str  # human-readable: "passed to .map()" / "partitioner hook"
+    via_name: bool = False  # resolved through a name reference
+    is_inline: bool = True  # lambda or nested def (vs module-level def)
+
+
+class _Scope:
+    """Lexical scope: bindings plus loaded names."""
+
+    def __init__(self, node: ast.AST, parent: "_Scope | None"):
+        self.node = node
+        self.parent = parent
+        self.bindings: dict[str, Binding] = {}
+        self.loads: list[ast.Name] = []
+        self.globals: set[str] = set()
+        self.nonlocals: set[str] = set()
+
+    def bind(self, name: str, **kwargs) -> Binding:
+        binding = self.bindings.get(name)
+        if binding is None:
+            binding = Binding(name=name, scope_node=self.node, **kwargs)
+            self.bindings[name] = binding
+        else:
+            for key, value in kwargs.items():
+                if key == "values":
+                    binding.values.extend(value)
+                elif value:
+                    setattr(binding, key, value)
+        return binding
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_text(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return None
+
+
+class _ScopeBuilder(ast.NodeVisitor):
+    """One pass over the tree building the scope table."""
+
+    def __init__(self, tree: ast.Module):
+        self.scopes: dict[int, _Scope] = {}
+        self.module_scope = _Scope(tree, None)
+        self.scopes[id(tree)] = self.module_scope
+        self._stack: list[_Scope] = [self.module_scope]
+        self.visit_body(tree)
+
+    @property
+    def current(self) -> _Scope:
+        return self._stack[-1]
+
+    def visit_body(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    # -- scope-opening nodes -----------------------------------------------------
+
+    def _enter_function(self, node) -> None:
+        name = getattr(node, "name", "<lambda>")
+        self.current.bind(name, is_function_def=True, values=[node])
+        scope = _Scope(node, self.current)
+        self.scopes[id(node)] = scope
+        # Decorators / defaults / annotations evaluate in the enclosing scope.
+        for deco in getattr(node, "decorator_list", []):
+            self.visit(deco)
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        self._stack.append(scope)
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            scope.bind(
+                arg.arg, is_param=True, annotation=annotation_text(arg.annotation)
+            )
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for stmt in body:
+            self.visit(stmt)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.current.bind(node.name, values=[node])
+        for base in node.bases + node.keywords:
+            self.visit(base.value if isinstance(base, ast.keyword) else base)
+        scope = _Scope(node, self.current)
+        self.scopes[id(node)] = scope
+        self._stack.append(scope)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._stack.pop()
+
+    def _enter_comprehension(self, node) -> None:
+        scope = _Scope(node, self.current)
+        self.scopes[id(node)] = scope
+        # The first iterable evaluates in the enclosing scope.
+        first = node.generators[0]
+        self.visit(first.iter)
+        self._stack.append(scope)
+        for target in [g.target for g in node.generators]:
+            self._bind_target(target)
+        for gen in node.generators[1:]:
+            self.visit(gen.iter)
+        for gen in node.generators:
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._stack.pop()
+
+    def visit_ListComp(self, node):  # noqa: D102 - trivial dispatch
+        self._enter_comprehension(node)
+
+    def visit_SetComp(self, node):
+        self._enter_comprehension(node)
+
+    def visit_DictComp(self, node):
+        self._enter_comprehension(node)
+
+    def visit_GeneratorExp(self, node):
+        self._enter_comprehension(node)
+
+    # -- binding statements ---------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, value: ast.expr | None = None) -> None:
+        if isinstance(target, ast.Name):
+            self.current.bind(target.id, values=[value] if value is not None else [])
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None)
+        else:
+            self.visit(target)  # attribute / subscript stores load their base
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._bind_target(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            binding = self.current.bind(
+                node.target.id,
+                values=[node.value] if node.value is not None else [],
+            )
+            binding.annotation = annotation_text(node.annotation)
+        else:
+            self.visit(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            self.current.loads.append(
+                ast.copy_location(ast.Name(id=node.target.id, ctx=ast.Load()), node)
+            )
+            self.current.bind(node.target.id)
+        else:
+            self.visit(node.target)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.visit(node.value)
+        self._bind_target(node.target, node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._bind_target(node.target, None)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.current.bind(name, is_import=True)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            self.current.bind(alias.asname or alias.name, is_import=True)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.current.globals.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.current.nonlocals.update(node.names)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.current.bind(node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.current.loads.append(node)
+        elif isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.current.bind(node.id)
+
+
+class ModuleAnalysis:
+    """Everything the rules need to know about one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        builder = _ScopeBuilder(tree)
+        self.scopes = builder.scopes
+        self.module_scope = builder.module_scope
+        self.stage_closures = self._find_stage_closures()
+
+    # -- stage-closure discovery -----------------------------------------------------
+
+    def _find_stage_closures(self) -> list[StageClosure]:
+        closures: dict[int, StageClosure] = {}
+
+        def add(node: ast.AST, name: str, reason: str, via_name: bool) -> None:
+            if id(node) in closures:
+                return
+            is_inline = isinstance(node, ast.Lambda) or not isinstance(
+                self._enclosing_scope_node(node), ast.Module
+            )
+            closures[id(node)] = StageClosure(
+                node=node,
+                name=name,
+                reason=reason,
+                via_name=via_name,
+                is_inline=is_inline,
+            )
+
+        for call in ast.walk(self.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            method = None
+            if isinstance(func, ast.Attribute):
+                method = func.attr
+            elif isinstance(func, ast.Name) and func.id == "run_stage":
+                method = "run_stage"
+            if method not in STAGE_METHODS:
+                continue
+            reason = f"passed to .{method}()"
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                if isinstance(arg, _FUNC_NODES):
+                    name = getattr(arg, "name", "<lambda>")
+                    add(arg, name, reason, via_name=False)
+                elif isinstance(arg, ast.Name):
+                    resolved = self._resolve_function(arg)
+                    if resolved is not None:
+                        add(resolved, arg.id, reason, via_name=True)
+
+        for class_node in ast.walk(self.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if not self._is_hook_class(class_node):
+                continue
+            for stmt in class_node.body:
+                if (
+                    isinstance(stmt, ast.FunctionDef)
+                    and stmt.name in HOOK_METHODS
+                ):
+                    add(
+                        stmt,
+                        f"{class_node.name}.{stmt.name}",
+                        f"task-executed hook of {class_node.name}",
+                        via_name=False,
+                    )
+        return sorted(closures.values(), key=lambda c: (c.node.lineno, c.node.col_offset))
+
+    @staticmethod
+    def _is_hook_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = dotted_name(base) or ""
+            if any(fragment in name for fragment in HOOK_BASE_FRAGMENTS):
+                return True
+        return False
+
+    def _resolve_function(self, ref: ast.Name):
+        """A Name argument -> the FunctionDef it lexically refers to, if any."""
+        scope = self._scope_containing(ref)
+        while scope is not None:
+            binding = scope.bindings.get(ref.id)
+            if binding is not None:
+                for value in binding.values:
+                    if isinstance(value, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        return value
+                return None
+            scope = scope.parent
+        return None
+
+    # -- scope plumbing ----------------------------------------------------------------
+
+    def _scope_containing(self, node: ast.AST) -> _Scope:
+        """The innermost scope whose loads/bindings include this node."""
+        for scope in self.scopes.values():
+            if node in scope.loads:
+                return scope
+        return self.module_scope
+
+    def _enclosing_scope_node(self, func_node: ast.AST) -> ast.AST:
+        """Nearest enclosing *function or module* scope node.
+
+        Comprehension and class scopes are transparent: a method of a
+        module-level class is reachable by pickle just like a module-level
+        def, so it is not "inline" for serialization purposes.
+        """
+        scope = self.scope_of(func_node)
+        parent = scope.parent
+        while parent is not None and isinstance(
+            parent.node, _COMPREHENSION_NODES + (ast.ClassDef,)
+        ):
+            parent = parent.parent
+        return parent.node if parent is not None else self.tree
+
+    def scope_of(self, func_node: ast.AST) -> _Scope:
+        return self.scopes[id(func_node)]
+
+    # -- capture analysis ---------------------------------------------------------------
+
+    def captures(self, func_node: ast.AST) -> dict[str, Binding]:
+        """Free names of a function, resolved to their defining binding.
+
+        Includes loads made by scopes nested inside the function
+        (comprehensions, inner lambdas): anything they reach through this
+        function's closure counts as captured by the stage closure.
+        """
+        root_scope = self.scope_of(func_node)
+        result: dict[str, Binding] = {}
+
+        def walk(scope: _Scope, bound_below: set[str]) -> None:
+            # global/nonlocal declarations re-expose the outer binding even
+            # though the name is assigned locally.
+            bound_here = bound_below | (
+                set(scope.bindings) - scope.globals - scope.nonlocals
+            )
+            for load in scope.loads:
+                name = load.id
+                if name in bound_here or name in _BUILTIN_NAMES:
+                    continue
+                if name in result:
+                    continue
+                binding = self._lookup_outward(root_scope, name)
+                if binding is not None:
+                    result[name] = binding
+            for child in self.scopes.values():
+                if child.parent is scope:
+                    walk(child, bound_here)
+
+        walk(root_scope, set())
+        return result
+
+    def _lookup_outward(self, scope: _Scope, name: str) -> Binding | None:
+        outer = scope.parent
+        while outer is not None:
+            if isinstance(outer.node, ast.ClassDef):
+                outer = outer.parent  # class scopes are skipped by closures
+                continue
+            binding = outer.bindings.get(name)
+            if binding is not None:
+                return binding
+            outer = outer.parent
+        return None
+
+    # -- mutation scanning ---------------------------------------------------------------
+
+    def mutations_of(self, func_node: ast.AST, name: str) -> list[ast.AST]:
+        """Statements inside ``func_node`` that mutate captured ``name``.
+
+        Catches ``name[k] = v``, ``name.attr = v``, ``del name[k]``,
+        ``name += ...`` (via global/nonlocal), and mutating method calls
+        (``name.append(...)`` — see :data:`MUTATING_METHODS`).
+        """
+        hits: list[ast.AST] = []
+        for node in ast.walk(func_node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id == name and base is not target:
+                        hits.append(node)
+                    elif (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(target, ast.Name)
+                        and target.id == name
+                    ):
+                        hits.append(node)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                    and node.func.attr in MUTATING_METHODS
+                ):
+                    hits.append(node)
+        return hits

@@ -1,0 +1,101 @@
+"""Finding and severity model for ``repro lint``.
+
+A :class:`Finding` is one diagnostic anchored to a source location.  The
+linter's contract mirrors the engine's metrics philosophy: findings are
+plain data, fully ordered, and rendering (text / JSON / GitHub
+annotations) is a separate concern (:mod:`repro.analysis.formats`).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: rule, location, message.
+
+    Ordering is (path, line, col, rule) so reports are stable regardless
+    of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=True)
+    severity: Severity = field(compare=False, default=Severity.WARNING)
+    message: str = field(compare=False, default="")
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+
+
+#: Inline suppression: ``# repro: noqa`` silences every finding on the
+#: line; ``# repro: noqa[R101,R204]`` silences only the named rules.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s-]+)\])?")
+
+#: File-level opt-out, honored within the first ten lines of a file.
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+
+class Suppressions:
+    """Per-file suppression state parsed from source comments."""
+
+    def __init__(self, source: str):
+        lines = source.splitlines()
+        self.skip_file = any(
+            _SKIP_FILE_RE.search(line) for line in lines[:10]
+        )
+        #: line number (1-based) -> None (all rules) or set of rule ids
+        self.by_line: dict[int, set[str] | None] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            if match.group(1) is None:
+                self.by_line[lineno] = None
+            else:
+                rules = {
+                    token.strip().upper()
+                    for token in match.group(1).split(",")
+                    if token.strip()
+                }
+                existing = self.by_line.get(lineno)
+                if existing is None and lineno in self.by_line:
+                    continue  # blanket noqa already covers the line
+                self.by_line[lineno] = (existing or set()) | rules
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when a noqa comment covers this finding."""
+        if self.skip_file:
+            return True
+        if finding.line not in self.by_line:
+            return False
+        rules = self.by_line[finding.line]
+        return rules is None or finding.rule.upper() in rules

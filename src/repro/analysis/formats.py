@@ -1,0 +1,69 @@
+"""Rendering lint reports: human text, JSON, and GitHub CI annotations."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Severity
+from repro.analysis.runner import LintReport
+
+FORMATS = ("text", "json", "github")
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    """Render a report in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return _render_text(report)
+    if fmt == "json":
+        return _render_json(report)
+    if fmt == "github":
+        return _render_github(report)
+    raise ValueError(f"unknown format {fmt!r}; choose from {', '.join(FORMATS)}")
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [
+        f"{f.location}: {f.severity.label.upper()} {f.rule} {f.message}"
+        for f in report.all_findings
+    ]
+    counts = {
+        severity: sum(1 for f in report.all_findings if f.severity == severity)
+        for severity in Severity
+    }
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.INFO]} note(s)"
+    )
+    return "\n".join(lines + [summary])
+
+
+def _render_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "files_checked": report.files_checked,
+            "findings": [f.as_dict() for f in report.all_findings],
+        },
+        indent=2,
+    )
+
+
+#: GitHub workflow-command level per severity.
+_GITHUB_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "notice",
+}
+
+
+def _render_github(report: LintReport) -> str:
+    """``::error file=…,line=…`` workflow commands, one per finding."""
+    lines = []
+    for f in report.all_findings:
+        message = f"{f.rule} {f.message}".replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{_GITHUB_LEVEL[f.severity]} file={f.path},line={f.line},"
+            f"col={f.col},title={f.rule}::{message}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,656 @@
+"""The distributed-correctness rule catalogue.
+
+Each rule targets an invariant the engine's execution model depends on.
+The rule ids are stable API — suppression comments and CI configuration
+reference them — so new rules append, they never renumber.
+
+======== ======================== =========================================
+id       name                     invariant protected
+======== ======================== =========================================
+REPRO101 capture-engine-context   stage closures must not capture the
+                                  EngineContext (workers hold a copy; the
+                                  driver's pools/metrics don't travel)
+REPRO102 capture-rdd              stage closures must not capture an RDD
+                                  (re-entrant evaluation inside a task)
+REPRO103 capture-open-handle      open file/socket handles don't pickle
+                                  and aren't valid in another process
+REPRO104 mutable-capture-mutation task-side writes to captured mutable
+                                  state are lost on the process backend;
+                                  use the accumulator protocol (``.add``)
+REPRO105 unpicklable-closure      lambdas / nested defs need cloudpickle
+                                  to reach process workers
+REPRO106 nondeterministic-time    wall-clock reads make stage output
+                                  depend on when a task ran (breaks the
+                                  cross-backend determinism contract)
+REPRO107 unseeded-random          unseeded RNGs break run-to-run and
+                                  cross-backend determinism
+REPRO108 set-iteration-order      set iteration order is salted per
+                                  process; workers disagree on it
+REPRO109 broadcast-mutation       broadcasts are read-only; mutations are
+                                  silently local to one worker
+REPRO110 partitioner-contract     ``assign`` must be pure and
+                                  ``num_partitions`` positive
+======== ======================== =========================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.closures import (
+    CONTEXT_NAMES,
+    HOOK_METHODS,
+    MUTATING_METHODS,
+    Binding,
+    ModuleAnalysis,
+    RDD_PRODUCER_METHODS,
+    StageClosure,
+    dotted_name,
+)
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass
+class LintOptions:
+    """Knobs shared by every rule.
+
+    ``assume_cloudpickle=None`` autodetects the linting environment —
+    the same resolution the process backend performs at runtime.
+    """
+
+    assume_cloudpickle: bool | None = None
+
+    def cloudpickle_available(self) -> bool:
+        if self.assume_cloudpickle is not None:
+            return self.assume_cloudpickle
+        try:
+            import cloudpickle  # noqa: F401
+
+            return True
+        except ImportError:  # pragma: no cover - environment-dependent
+            return False
+
+
+class Rule:
+    """One lint rule: stable id, default severity, a ``check`` pass."""
+
+    id: str = "REPRO000"
+    name: str = "abstract"
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleAnalysis,
+        node: ast.AST,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=severity or self.severity,
+            message=message,
+        )
+
+
+RULES: list[Rule] = []
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    RULES.append(cls())
+    return cls
+
+
+def _closure_label(closure: StageClosure) -> str:
+    return f"stage closure {closure.name!r} ({closure.reason})"
+
+
+def _interesting_captures(
+    module: ModuleAnalysis, closure: StageClosure
+) -> Iterable[tuple[str, Binding]]:
+    """Captured names worth classifying: skip imports and function defs."""
+    for name, binding in module.captures(closure.node).items():
+        if binding.is_import or binding.is_function_def:
+            continue
+        yield name, binding
+
+
+def _value_call_attr(binding: Binding) -> set[str]:
+    """Terminal attribute names of call expressions bound to this name."""
+    attrs: set[str] = set()
+    for value in binding.values:
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            attrs.add(value.func.attr)
+        elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            attrs.add(value.func.id)
+    return attrs
+
+
+# -- capture-safety rules --------------------------------------------------------------
+
+
+@register
+class CaptureEngineContext(Rule):
+    id = "REPRO101"
+    name = "capture-engine-context"
+    severity = Severity.ERROR
+    description = (
+        "A stage closure captures the EngineContext.  Workers receive a "
+        "pickled copy whose pools, locks, and metrics are severed from the "
+        "driver; anything the task does through it is silently lost.  Pass "
+        "plain values into the closure instead."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for closure in module.stage_closures:
+            for name, binding in _interesting_captures(module, closure):
+                annotated = binding.annotation or ""
+                bound_to_ctx = any(
+                    isinstance(v, ast.Call)
+                    and (dotted_name(v.func) or "").split(".")[-1] == "EngineContext"
+                    for v in binding.values
+                )
+                if (
+                    "EngineContext" in annotated
+                    or bound_to_ctx
+                    or name in CONTEXT_NAMES
+                ):
+                    yield self.finding(
+                        module,
+                        closure.node,
+                        f"{_closure_label(closure)} captures engine context "
+                        f"{name!r}; pass plain values instead",
+                    )
+
+
+@register
+class CaptureRDD(Rule):
+    id = "REPRO102"
+    name = "capture-rdd"
+    severity = Severity.ERROR
+    description = (
+        "A stage closure captures an RDD.  Evaluating an RDD from inside a "
+        "task re-enters the engine (nested stages, or a full re-computation "
+        "per worker on the process backend).  Collect or broadcast the data "
+        "first."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for closure in module.stage_closures:
+            for name, binding in _interesting_captures(module, closure):
+                annotated = binding.annotation or ""
+                looks_like_rdd = (
+                    "RDD" in annotated
+                    or name == "rdd"
+                    or name.endswith("_rdd")
+                    or bool(_value_call_attr(binding) & RDD_PRODUCER_METHODS)
+                )
+                if looks_like_rdd:
+                    yield self.finding(
+                        module,
+                        closure.node,
+                        f"{_closure_label(closure)} captures RDD {name!r}; "
+                        f"collect() or broadcast the data before the stage",
+                    )
+
+
+@register
+class CaptureOpenHandle(Rule):
+    id = "REPRO103"
+    name = "capture-open-handle"
+    severity = Severity.ERROR
+    description = (
+        "A stage closure captures an open file handle.  Handles don't "
+        "pickle and are meaningless in another process; open the file "
+        "inside the task, or read the contents up front."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for closure in module.stage_closures:
+            for name, binding in _interesting_captures(module, closure):
+                opened = any(
+                    isinstance(v, ast.Call)
+                    and (dotted_name(v.func) or "").split(".")[-1] == "open"
+                    for v in binding.values
+                )
+                if opened:
+                    yield self.finding(
+                        module,
+                        closure.node,
+                        f"{_closure_label(closure)} captures open handle "
+                        f"{name!r}; open it inside the task instead",
+                    )
+
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque", "bytearray"}
+)
+
+
+def _is_mutable_literal(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = (dotted_name(value.func) or "").split(".")[-1]
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+@register
+class MutableCaptureMutation(Rule):
+    id = "REPRO104"
+    name = "mutable-capture-mutation"
+    severity = Severity.ERROR
+    description = (
+        "A stage closure mutates captured state.  On the process backend "
+        "the mutation happens in a worker's copy and never reaches the "
+        "driver; on any backend it makes task output order-dependent.  "
+        "Report side-band results through the accumulator protocol "
+        "(objects exposing .add(), e.g. engine Accumulator) or return them "
+        "from the task.  Capturing module-level mutable state read-only is "
+        "reported as a warning: module reloads and workers see different "
+        "copies."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for closure in module.stage_closures:
+            for name, binding in _interesting_captures(module, closure):
+                mutations = module.mutations_of(closure.node, name)
+                if mutations:
+                    yield self.finding(
+                        module,
+                        mutations[0],
+                        f"{_closure_label(closure)} mutates captured "
+                        f"{name!r}; the write is lost on the process backend "
+                        f"— use an accumulator (.add) or return the value",
+                    )
+                elif (
+                    binding.in_module_scope
+                    and not name.isupper()
+                    and any(_is_mutable_literal(v) for v in binding.values)
+                ):
+                    yield self.finding(
+                        module,
+                        closure.node,
+                        f"{_closure_label(closure)} captures module-level "
+                        f"mutable {name!r}; workers each see their own copy",
+                        severity=Severity.WARNING,
+                    )
+
+
+@register
+class UnpicklableClosure(Rule):
+    id = "REPRO105"
+    name = "unpicklable-closure"
+    severity = Severity.WARNING
+    description = (
+        "A lambda or nested function is shipped to a stage, but cloudpickle "
+        "is not available: stdlib pickle only serializes module-level "
+        "callables, so the process backend will raise "
+        "TaskSerializationError.  Hoist the function to module scope or "
+        "install cloudpickle."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        if options.cloudpickle_available():
+            return
+        for closure in module.stage_closures:
+            if closure.is_inline:
+                yield self.finding(
+                    module,
+                    closure.node,
+                    f"{_closure_label(closure)} is a lambda/nested def and "
+                    f"cloudpickle is unavailable; the process backend cannot "
+                    f"ship it — hoist it to module level",
+                )
+
+
+# -- determinism rules ------------------------------------------------------------------
+
+_TIME_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+    }
+)
+
+_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+def _nondeterministic_call(call: ast.Call) -> str | None:
+    """A human-readable reason when a call is a nondeterminism hazard."""
+    dn = dotted_name(call.func)
+    if dn is None:
+        return None
+    parts = dn.split(".")
+    if dn in _TIME_CALLS:
+        return f"{dn}() reads the wall clock"
+    if parts[-1] in {"now", "utcnow", "today"} and any(
+        p in {"datetime", "date"} for p in parts[:-1]
+    ):
+        return f"{dn}() reads the wall clock"
+    if parts[0] == "random" and len(parts) == 2:
+        if parts[1] in _RANDOM_FUNCS:
+            return f"{dn}() uses the unseeded module-level RNG"
+        if parts[1] in {"Random", "SystemRandom"} and not call.args:
+            return f"{dn}() without a seed is nondeterministic"
+        return None  # stdlib random fully handled; not the numpy chain
+    if "random" in parts[:-1]:  # numpy.random.* / np.random.*
+        if parts[-1] == "default_rng":
+            return None if call.args else f"{dn}() without a seed is nondeterministic"
+        if parts[-1] == "seed":
+            return None
+        return f"{dn}() uses numpy's unseeded global RNG"
+    if dn in {"uuid.uuid4", "os.urandom"} or parts[0] == "secrets":
+        return f"{dn}() is entropy-based"
+    return None
+
+
+class _DeterminismRule(Rule):
+    """Shared scan: nondeterministic calls inside stage closures."""
+
+    predicate: Callable[[str], bool] = staticmethod(lambda reason: True)
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for closure in module.stage_closures:
+            for node in ast.walk(closure.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _nondeterministic_call(node)
+                if reason is not None and self.predicate(reason):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{_closure_label(closure)}: {reason}; stage output "
+                        f"must be a pure function of the partition",
+                    )
+
+
+@register
+class NondeterministicTime(_DeterminismRule):
+    id = "REPRO106"
+    name = "nondeterministic-time"
+    severity = Severity.WARNING
+    description = (
+        "A stage function reads the wall clock.  Task output then depends "
+        "on when (and on which worker) the task ran — retries, speculative "
+        "copies, and different backends will disagree.  Compute timestamps "
+        "on the driver and pass them in."
+    )
+    predicate = staticmethod(lambda reason: "wall clock" in reason)
+
+
+@register
+class UnseededRandom(_DeterminismRule):
+    id = "REPRO107"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    description = (
+        "A stage function draws from an unseeded RNG.  Use "
+        "random.Random(seed derived from the partition index), the pattern "
+        "RDD.sample uses, so retries and backends agree."
+    )
+    predicate = staticmethod(lambda reason: "wall clock" not in reason)
+
+
+def _is_setish(node: ast.expr, set_names: frozenset[str] = frozenset()) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return isinstance(node, ast.Name) and node.id in set_names
+
+
+def _setish_names(closure_node: ast.AST) -> frozenset[str]:
+    """Local names that are only ever assigned set-valued expressions."""
+    setish: set[str] = set()
+    other: set[str] = set()
+    for node in ast.walk(closure_node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            (setish if _is_setish(node.value) else other).add(node.targets[0].id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    other.add(target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for arg in args.args + args.posonlyargs + args.kwonlyargs:
+                other.add(arg.arg)
+    return frozenset(setish - other)
+
+
+@register
+class SetIterationOrder(Rule):
+    id = "REPRO108"
+    name = "set-iteration-order"
+    severity = Severity.WARNING
+    description = (
+        "A stage function iterates a set.  Set order depends on the "
+        "per-process hash salt, so two workers (or a retry) can emit "
+        "elements in different orders.  Iterate sorted(...) instead."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for closure in module.stage_closures:
+            set_names = _setish_names(closure.node)
+            for node in ast.walk(closure.node):
+                hit: ast.AST | None = None
+                if isinstance(node, ast.For) and _is_setish(node.iter, set_names):
+                    hit = node.iter
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if _is_setish(gen.iter, set_names):
+                            hit = gen.iter
+                            break
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in {"list", "tuple", "enumerate", "iter", "next"}
+                    and node.args
+                    and _is_setish(node.args[0], set_names)
+                ):
+                    hit = node
+                if hit is not None:
+                    yield self.finding(
+                        module,
+                        hit,
+                        f"{_closure_label(closure)} iterates a set; order is "
+                        f"process-dependent — use sorted(...) for a stable "
+                        f"order",
+                    )
+
+
+# -- shared-state rules -------------------------------------------------------------
+
+
+@register
+class BroadcastMutation(Rule):
+    id = "REPRO109"
+    name = "broadcast-mutation"
+    severity = Severity.ERROR
+    description = (
+        "A broadcast value is mutated.  Broadcasts are read-only shared "
+        "state: on the process backend each worker mutates its private "
+        "copy, so tasks silently diverge.  Build the final value before "
+        "broadcasting."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        broadcast_names = self._broadcast_names(module)
+        if not broadcast_names:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # b.value.append(...) / b.value.update(...)
+                inner = node.func.value
+                if (
+                    node.func.attr in (MUTATING_METHODS | {"add"})
+                    and isinstance(inner, ast.Attribute)
+                    and inner.attr == "value"
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id in broadcast_names
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"broadcast {inner.value.id!r} is mutated via "
+                        f".value.{node.func.attr}(); broadcasts are read-only",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        if (
+                            isinstance(base, ast.Attribute)
+                            and base.attr == "value"
+                            and isinstance(base.value, ast.Name)
+                            and base.value.id in broadcast_names
+                        ):
+                            yield self.finding(
+                                module,
+                                node,
+                                f"broadcast {base.value.id!r}.value is "
+                                f"assigned to; broadcasts are read-only",
+                            )
+                            break
+                        base = base.value
+
+    @staticmethod
+    def _broadcast_names(module: ModuleAnalysis) -> set[str]:
+        names: set[str] = set()
+        for scope in module.scopes.values():
+            for name, binding in scope.bindings.items():
+                annotated = binding.annotation or ""
+                if "Broadcast" in annotated or any(
+                    isinstance(v, ast.Call)
+                    and isinstance(v.func, ast.Attribute)
+                    and v.func.attr == "broadcast"
+                    for v in binding.values
+                ):
+                    names.add(name)
+        return names
+
+
+@register
+class PartitionerContract(Rule):
+    id = "REPRO110"
+    name = "partitioner-contract"
+    severity = Severity.ERROR
+    description = (
+        "A partitioner's assigner must be pure (no writes to self — "
+        "assignment runs once per record, concurrently, possibly in "
+        "another process) and num_partitions must be positive.  Violations "
+        "break the shuffle routing the partition() lifecycle relies on."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        for class_node in ast.walk(module.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if not any(
+                "Partitioner" in (dotted_name(b) or "") for b in class_node.bases
+            ):
+                continue
+            for stmt in class_node.body:
+                if not isinstance(stmt, ast.FunctionDef):
+                    continue
+                if stmt.name in HOOK_METHODS:
+                    yield from self._check_pure_assigner(module, class_node, stmt)
+                if stmt.name == "num_partitions":
+                    yield from self._check_bounds(module, class_node, stmt)
+
+    def _check_pure_assigner(
+        self, module: ModuleAnalysis, class_node: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id == "self"
+                        and base is not target
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{class_node.name}.{method.name} writes to self; "
+                            f"assigners run per-record and concurrently — "
+                            f"they must be pure",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if (
+                    isinstance(node.func.value, ast.Attribute)
+                    and isinstance(node.func.value.value, ast.Name)
+                    and node.func.value.value.id == "self"
+                    and node.func.attr in MUTATING_METHODS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{class_node.name}.{method.name} mutates self."
+                        f"{node.func.value.attr} via .{node.func.attr}(); "
+                        f"assigners must be pure",
+                    )
+
+    def _check_bounds(
+        self, module: ModuleAnalysis, class_node: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and node.value.value < 1
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{class_node.name}.num_partitions returns "
+                    f"{node.value.value}; a partitioner must expose at "
+                    f"least one partition",
+                )
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Stable id -> rule instance for selection / suppression validation."""
+    return {rule.id: rule for rule in RULES}

@@ -1,0 +1,143 @@
+"""File walking, rule execution, and suppression filtering for ``repro lint``."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.closures import ModuleAnalysis
+from repro.analysis.findings import Finding, Severity, Suppressions
+from repro.analysis.rules import RULES, LintOptions, Rule, rules_by_id
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return sorted(self.parse_errors + self.findings)
+
+    def worst_severity(self) -> Severity | None:
+        if not self.all_findings:
+            return None
+        return max(f.severity for f in self.all_findings)
+
+    @property
+    def failed(self) -> bool:
+        """True when the run should fail a build (warnings and up)."""
+        worst = self.worst_severity()
+        return worst is not None and worst >= Severity.WARNING
+
+
+def _select_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[Rule]:
+    catalogue = rules_by_id()
+    unknown = [
+        rid.upper()
+        for rid in list(select or []) + list(ignore or [])
+        if rid.upper() not in catalogue
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(set(unknown)))}; "
+            f"known: {', '.join(sorted(catalogue))}"
+        )
+    active = list(RULES)
+    if select:
+        wanted = {rid.upper() for rid in select}
+        active = [rule for rule in active if rule.id in wanted]
+    if ignore:
+        dropped = {rid.upper() for rid in ignore}
+        active = [rule for rule in active if rule.id not in dropped]
+    return active
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    seen.add(child)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    options: LintOptions | None = None,
+) -> list[Finding]:
+    """Lint one source string — the importable API the tests build on."""
+    options = options or LintOptions()
+    suppressions = Suppressions(source)
+    if suppressions.skip_file:
+        return []
+    tree = ast.parse(source, filename=path)
+    module = ModuleAnalysis(path, source, tree)
+    findings: list[Finding] = []
+    for rule in _select_rules(select, ignore):
+        for finding in rule.check(module, options):
+            if not suppressions.suppresses(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    options: LintOptions | None = None,
+) -> LintReport:
+    """Lint every .py file under ``paths`` and aggregate a report."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule="REPRO001",
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        try:
+            report.findings.extend(
+                lint_source(source, str(path), select, ignore, options)
+            )
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="REPRO002",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    return report

@@ -10,13 +10,16 @@ surface a data engineer needs without writing code:
   on-disk metadata index;
 * ``select``   — run a metadata-pruned ST range selection and report the
   pruning statistics;
-* ``info``     — print a dataset's metadata summary.
+* ``info``     — print a dataset's metadata summary;
+* ``lint``     — static distributed-correctness checks on stage closures
+  (see :mod:`repro.analysis`).
 
 Usage::
 
     python -m repro.cli generate nyc --records 50000 --out data/nyc
     python -m repro.cli select data/nyc --bbox -74.0 40.6 -73.9 40.8 \
         --time 1356998400 1357603200
+    python -m repro.cli lint src/ tests/ --format github
 """
 
 from __future__ import annotations
@@ -49,6 +52,11 @@ _GENERATORS = {
     ),
     "osm": ("event", lambda n, seed: generate_osm_pois(n, seed=seed)),
 }
+
+
+def _rule_ids(value: str) -> list[str]:
+    """argparse type for comma-separated rule-id lists."""
+    return [v.strip() for v in value.split(",") if v.strip()]
 
 
 def _make_ctx(args: argparse.Namespace) -> EngineContext:
@@ -124,6 +132,36 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintOptions, lint_paths, render, rules_by_id
+
+    if args.list_rules:
+        for rule_id, rule in sorted(rules_by_id().items()):
+            summary = rule.description.split(". ")[0].rstrip(".")
+            print(f"{rule_id}  {rule.name:<28} {summary}")
+        return 0
+    if not args.paths:
+        print("lint needs at least one path (or --list-rules)", file=sys.stderr)
+        return 2
+    options = LintOptions(
+        assume_cloudpickle=False if args.no_cloudpickle else None
+    )
+    try:
+        report = lint_paths(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            options=options,
+        )
+    except ValueError as exc:  # unknown rule id in --select/--ignore
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    output = render(report, args.format)
+    if output:
+        print(output)
+    return 1 if report.failed else 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     meta = StDataset(args.path).metadata()
     print(f"dataset: {args.path}")
@@ -183,6 +221,44 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print dataset metadata")
     info.add_argument("path", type=Path)
     info.set_defaults(func=_cmd_info)
+
+    from repro.analysis import FORMATS
+
+    lint = sub.add_parser(
+        "lint",
+        help="static distributed-correctness checks for stage closures",
+        description="AST-based lint of code that ships closures into "
+        "engine stages: capture safety, picklability, determinism, "
+        "broadcast immutability, partitioner contracts.",
+    )
+    lint.add_argument("paths", nargs="*", type=Path)
+    lint.add_argument("--format", choices=FORMATS, default="text")
+    lint.add_argument(
+        "--select",
+        type=_rule_ids,
+        action="extend",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        type=_rule_ids,
+        action="extend",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--no-cloudpickle",
+        action="store_true",
+        help="lint as if cloudpickle were unavailable (stdlib pickle "
+        "only), enabling the stricter REPRO105 closure checks",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -62,6 +62,19 @@ class AllocationStats:
             "allocations": self.allocations,
         }
 
+    # Converter closures capture the stats object, so the process backend
+    # pickles it into every task; the lock must not travel (and a worker's
+    # copy starts its own).  Flagged by ``repro lint`` / strict mode as a
+    # REPRO105 hazard before this existed.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = Lock()
+
 
 def _matches_cell(instance: Instance, geom: Geometry | None, dur: Duration | None) -> bool:
     """Exact instance↔cell intersection.

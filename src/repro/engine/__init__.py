@@ -30,6 +30,7 @@ from repro.engine.accumulators import Accumulator, counter
 from repro.engine.metrics import JobMetrics, TaskMetrics
 from repro.engine.errors import (
     EngineError,
+    StrictModeViolation,
     TaskFailure,
     TaskSerializationError,
     TaskTimeout,
@@ -52,6 +53,7 @@ __all__ = [
     "JobMetrics",
     "TaskMetrics",
     "EngineError",
+    "StrictModeViolation",
     "TaskFailure",
     "TaskSerializationError",
     "TaskTimeout",

@@ -9,6 +9,8 @@ and how many records each carried, which is what the converter ablation
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from typing import Generic, TypeVar
 
 T = TypeVar("T")
@@ -33,6 +35,25 @@ class Broadcast(Generic[T]):
         if self._destroyed:
             raise ValueError(f"broadcast {self.id} was destroyed")
         return self._value
+
+    def fingerprint(self) -> bytes | None:
+        """Digest of the value's pickled form; None when unpicklable.
+
+        The strict-mode sanitizer records this at creation and re-checks it
+        after every stage to enforce that broadcasts stay read-only.
+        """
+        if self._destroyed:
+            return None
+        try:
+            payload = pickle.dumps(self._value)
+        except Exception:
+            try:
+                import cloudpickle
+
+                payload = cloudpickle.dumps(self._value)
+            except Exception:
+                return None
+        return hashlib.blake2b(payload, digest_size=16).digest()
 
     def destroy(self) -> None:
         """Release the value; further access raises, as in Spark."""

@@ -11,6 +11,7 @@ from repro.engine.broadcast import Broadcast
 from repro.engine.errors import TaskFailure
 from repro.engine.exec import Backend, SequentialBackend, StageSpec, resolve_backend
 from repro.engine.metrics import JobMetrics, TaskMetrics
+from repro.engine.sanitizer import StageSanitizer
 
 T = TypeVar("T")
 
@@ -40,6 +41,15 @@ class EngineContext:
     backend_options:
         Extra constructor kwargs for a backend given by name (e.g.
         ``{"task_timeout": 30.0}`` for the process backend).
+    strict:
+        Enable the runtime sanitizer (:mod:`repro.engine.sanitizer`):
+        every top-level stage's closure is pickle-round-tripped with the
+        process backend's serializer and its captures are fingerprinted
+        before/after execution, so unpicklable captures, task-side
+        mutation of captured state, and broadcast mutation raise
+        :class:`~repro.engine.errors.StrictModeViolation` on *any*
+        backend — the dynamic backstop of ``repro lint``.  Costs one
+        serialization pass per stage; meant for tests and debugging.
     """
 
     def __init__(
@@ -49,6 +59,7 @@ class EngineContext:
         max_task_retries: int = 3,
         backend: "str | Backend | None" = None,
         backend_options: dict | None = None,
+        strict: bool = False,
     ):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be positive")
@@ -61,6 +72,8 @@ class EngineContext:
             backend = "thread" if parallel else "sequential"
         self._backend = resolve_backend(backend, default_parallelism, backend_options)
         self._inline = SequentialBackend()
+        self.strict = strict
+        self._sanitizer = StageSanitizer() if strict else None
         self._metrics_lock = Lock()
         self._in_task = threading.local()
         #: True on the pickled copy of this context living inside a
@@ -162,7 +175,10 @@ class EngineContext:
         with self._metrics_lock:
             self.metrics.broadcast_count += 1
             self.metrics.broadcast_records += record_count
-        return Broadcast(value)
+        broadcast = Broadcast(value)
+        if self._sanitizer is not None:
+            self._sanitizer.register_broadcast(broadcast)
+        return broadcast
 
     # -- execution ------------------------------------------------------------------
 
@@ -201,6 +217,11 @@ class EngineContext:
         )
         nested = getattr(self._in_task, "active", False) or self._worker_side
         backend = self._inline if nested or num_partitions == 1 else self._backend
+        # Strict mode inspects only driver-side top-level stages — nested
+        # stages run inside a task whose closure was already vetted.
+        snapshot = None
+        if self._sanitizer is not None and not nested:
+            snapshot = self._sanitizer.check_stage(task)
         try:
             stage = backend.run_stage(spec)
         except TaskFailure as failure:
@@ -233,6 +254,8 @@ class EngineContext:
                         speculative=outcome.speculative,
                     )
                 )
+        if snapshot is not None:
+            self._sanitizer.verify_stage(task, snapshot)
         return [outcome.result for outcome in outcomes]
 
     def record_shuffle(self, records: int) -> None:
@@ -253,6 +276,9 @@ class EngineContext:
         state["_backend"] = None
         state["metrics"] = JobMetrics()
         state["_worker_side"] = True
+        # The sanitizer holds live broadcast references and only ever runs
+        # driver-side; the worker copy gets none.
+        state["_sanitizer"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:

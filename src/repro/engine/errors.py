@@ -53,6 +53,25 @@ class TaskSerializationError(EngineError):
     """
 
 
+class StrictModeViolation(EngineError):
+    """A strict-mode sanitizer check failed (``EngineContext(strict=True)``).
+
+    Raised driver-side, *before or after* a stage runs — never from a
+    worker — when a stage closure would not survive the process backend:
+    an unpicklable capture, a failed pickle round-trip, task-side mutation
+    of captured state, a mutated broadcast value, or a partitioner
+    breaking the assign contract.  The message names the offending
+    function and capture; the static analog is the ``repro lint`` rule
+    cited in it.
+    """
+
+    def __init__(self, message: str, rule: str | None = None):
+        if rule is not None:
+            message = f"[{rule}] {message}"
+        super().__init__(message)
+        self.rule = rule
+
+
 class TaskTimeout(EngineError):
     """A task exceeded the process backend's per-task timeout.
 

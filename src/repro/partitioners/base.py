@@ -112,6 +112,10 @@ class STPartitioner(ABC):
         if not sample:
             sample = rdd.take(1000)
         self.fit(sample)
+        if getattr(rdd.ctx, "strict", False):
+            from repro.engine.sanitizer import validate_partitioner
+
+            validate_partitioner(self, sample)
         assigner = self.assign_all if duplicate else self.assign
         return rdd.shuffle_by(self.num_partitions, assigner)
 

@@ -1,0 +1,503 @@
+"""Static analysis rules (`repro lint`) and the strict-mode runtime sanitizer."""
+
+import json
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis import (
+    LintOptions,
+    LintReport,
+    Severity,
+    lint_paths,
+    lint_source,
+    render,
+    rules_by_id,
+)
+from repro.cli import main
+from repro.engine import Accumulator, EngineContext, StrictModeViolation
+from repro.engine.sanitizer import is_accumulator, validate_partitioner
+from repro.index.boxes import STBox
+from tests.conftest import make_events
+
+WITH_CLOUDPICKLE = LintOptions(assume_cloudpickle=True)
+
+
+def rules_of(source, **kwargs):
+    """Lint a dedented snippet and return the set of rule ids found."""
+    findings = lint_source(
+        textwrap.dedent(source), options=kwargs.pop("options", WITH_CLOUDPICKLE), **kwargs
+    )
+    return {f.rule for f in findings}
+
+
+class TestCaptureRules:
+    def test_engine_context_capture_flagged(self):
+        assert "REPRO101" in rules_of(
+            """
+            ctx = EngineContext()
+            rdd = ctx.parallelize(range(10))
+            out = rdd.map(lambda x: (ctx, x))
+            """
+        )
+
+    def test_context_annotation_flagged(self):
+        assert "REPRO101" in rules_of(
+            """
+            def job(engine: EngineContext, rdd):
+                return rdd.map(lambda x: engine.broadcast(x))
+            """
+        )
+
+    def test_plain_values_not_flagged(self):
+        assert rules_of(
+            """
+            def job(rdd, factor):
+                return rdd.map(lambda x: x * factor)
+            """
+        ) == set()
+
+    def test_rdd_capture_flagged(self):
+        assert "REPRO102" in rules_of(
+            """
+            def job(ctx):
+                lookup_rdd = ctx.parallelize(range(10))
+                big = ctx.parallelize(range(100))
+                return big.map(lambda x: lookup_rdd.count() + x)
+            """
+        )
+
+    def test_rdd_producer_value_flagged(self):
+        assert "REPRO102" in rules_of(
+            """
+            def job(ctx, raw):
+                pairs = raw.key_by(len)
+                return raw.map(lambda x: pairs)
+            """
+        )
+
+    def test_collected_list_not_flagged(self):
+        assert "REPRO102" not in rules_of(
+            """
+            def job(ctx, raw):
+                table = dict(raw.key_by(len).collect())
+                return raw.map(lambda x: table.get(x))
+            """
+        )
+
+    def test_open_handle_capture_flagged(self):
+        assert "REPRO103" in rules_of(
+            """
+            def job(rdd):
+                sink = open("out.txt", "w")
+                return rdd.foreach(lambda x: sink.write(str(x)))
+            """
+        )
+
+    def test_handle_opened_inside_closure_not_flagged(self):
+        assert "REPRO103" not in rules_of(
+            """
+            def job(rdd):
+                def dump(part):
+                    with open("out.txt", "w") as sink:
+                        sink.write(str(part))
+                    return part
+                return rdd.map_partitions(dump)
+            """
+        )
+
+
+class TestMutationRules:
+    def test_captured_list_mutation_flagged(self):
+        assert "REPRO104" in rules_of(
+            """
+            def job(rdd):
+                seen = []
+                return rdd.map(lambda x: seen.append(x) or x)
+            """
+        )
+
+    def test_captured_dict_subscript_write_flagged(self):
+        assert "REPRO104" in rules_of(
+            """
+            def job(rdd):
+                counts = {}
+                def tally(x):
+                    counts[x] = counts.get(x, 0) + 1
+                    return x
+                return rdd.map(tally)
+            """
+        )
+
+    def test_accumulator_add_not_flagged(self):
+        assert "REPRO104" not in rules_of(
+            """
+            def job(rdd):
+                acc = Accumulator(0, lambda a, b: a + b)
+                return rdd.foreach(lambda x: acc.add(x))
+            """
+        )
+
+    def test_local_mutation_inside_closure_not_flagged(self):
+        assert "REPRO104" not in rules_of(
+            """
+            def job(rdd):
+                def dedupe(part):
+                    out = []
+                    for x in part:
+                        out.append(x)
+                    return out
+                return rdd.map_partitions(dedupe)
+            """
+        )
+
+    def test_broadcast_value_mutation_flagged(self):
+        assert "REPRO109" in rules_of(
+            """
+            def job(ctx, rdd):
+                table = ctx.broadcast({})
+                return rdd.map(lambda x: table.value.update({x: 1}) or x)
+            """
+        )
+
+    def test_broadcast_read_not_flagged(self):
+        assert "REPRO109" not in rules_of(
+            """
+            def job(ctx, rdd):
+                table = ctx.broadcast({1: "a"})
+                return rdd.map(lambda x: table.value.get(x))
+            """
+        )
+
+
+class TestDeterminismRules:
+    def test_wall_clock_flagged(self):
+        assert "REPRO106" in rules_of(
+            """
+            import time
+            def job(rdd):
+                return rdd.map(lambda x: (x, time.time()))
+            """
+        )
+
+    def test_datetime_now_flagged(self):
+        assert "REPRO106" in rules_of(
+            """
+            import datetime
+            def job(rdd):
+                return rdd.map(lambda x: (x, datetime.datetime.now()))
+            """
+        )
+
+    def test_unseeded_random_flagged(self):
+        assert "REPRO107" in rules_of(
+            """
+            import random
+            def job(rdd):
+                return rdd.filter(lambda x: random.random() < 0.5)
+            """
+        )
+
+    def test_seeded_rng_not_flagged(self):
+        assert "REPRO107" not in rules_of(
+            """
+            import random
+            def job(rdd, seed):
+                def thin(i, part):
+                    rng = random.Random((seed, i))
+                    return [x for x in part if rng.random() < 0.5]
+                return rdd.map_partitions_with_index(thin)
+            """
+        )
+
+    def test_set_iteration_flagged(self):
+        assert "REPRO108" in rules_of(
+            """
+            def job(rdd):
+                def keys(part):
+                    uniq = set(part)
+                    return [k for k in uniq]
+                return rdd.map_partitions(keys)
+            """
+        )
+
+    def test_sorted_set_not_flagged(self):
+        assert "REPRO108" not in rules_of(
+            """
+            def job(rdd):
+                def keys(part):
+                    return sorted(set(part))
+                return rdd.map_partitions(keys)
+            """
+        )
+
+    def test_driver_side_time_not_flagged(self):
+        # wall-clock reads outside stage closures are fine (benchmarks do this)
+        assert "REPRO106" not in rules_of(
+            """
+            import time
+            def bench(rdd):
+                start = time.perf_counter()
+                n = rdd.map(lambda x: x + 1).count()
+                return n, time.perf_counter() - start
+            """
+        )
+
+
+class TestPicklabilityAndPartitionerRules:
+    def test_inline_lambda_flagged_without_cloudpickle(self):
+        source = """
+            def job(rdd):
+                return rdd.map(lambda x: x + 1)
+            """
+        assert "REPRO105" in rules_of(
+            source, options=LintOptions(assume_cloudpickle=False)
+        )
+        assert "REPRO105" not in rules_of(source)  # cloudpickle assumed
+
+    def test_partitioner_self_mutation_flagged(self):
+        assert "REPRO110" in rules_of(
+            """
+            class CountingPartitioner(STPartitioner):
+                def assign(self, instance):
+                    self.calls += 1
+                    return hash(instance) % self.num_partitions
+            """
+        )
+
+    def test_pure_partitioner_not_flagged(self):
+        assert "REPRO110" not in rules_of(
+            """
+            class GridPartitioner(STPartitioner):
+                def assign(self, instance):
+                    return int(instance.t) % self.num_partitions
+            """
+        )
+
+
+class TestSuppressionsAndReport:
+    SOURCE = """
+        def job(rdd):
+            seen = []
+            return rdd.map(lambda x: seen.append(x) or x)  # repro: noqa[REPRO104]
+        """
+
+    def test_targeted_noqa_suppresses(self):
+        assert rules_of(self.SOURCE) == set()
+
+    def test_noqa_with_other_rule_does_not_suppress(self):
+        assert "REPRO104" in rules_of(self.SOURCE.replace("REPRO104", "REPRO101"))
+
+    def test_bare_noqa_suppresses_everything(self):
+        assert rules_of(self.SOURCE.replace("[REPRO104]", "")) == set()
+
+    def test_skip_file_marker(self):
+        source = "# repro-lint: skip-file\n" + textwrap.dedent(self.SOURCE).replace(
+            "  # repro: noqa[REPRO104]", ""
+        )
+        assert lint_source(source, options=WITH_CLOUDPICKLE) == []
+
+    def test_select_and_ignore(self):
+        source = textwrap.dedent(
+            """
+            import time
+            def job(rdd):
+                seen = []
+                return rdd.map(lambda x: seen.append(time.time()) or x)
+            """
+        )
+        only = lint_source(source, select=["REPRO104"], options=WITH_CLOUDPICKLE)
+        assert {f.rule for f in only} == {"REPRO104"}
+        rest = lint_source(source, ignore=["REPRO104"], options=WITH_CLOUDPICKLE)
+        assert "REPRO104" not in {f.rule for f in rest}
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="REPRO999"):
+            lint_source("x = 1", select=["REPRO999"])
+
+    def test_rule_catalogue_complete(self):
+        assert sorted(rules_by_id()) == [f"REPRO{n}" for n in range(101, 111)]
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([tmp_path])
+        assert report.failed
+        assert any(f.rule == "REPRO002" for f in report.all_findings)
+
+    def test_report_failed_thresholds(self):
+        report = LintReport()
+        assert not report.failed
+        report.findings = lint_source(
+            textwrap.dedent(self.SOURCE).replace("  # repro: noqa[REPRO104]", ""),
+            options=WITH_CLOUDPICKLE,
+        )
+        assert report.worst_severity() == Severity.ERROR
+        assert report.failed
+
+
+class TestOutputFormats:
+    @pytest.fixture
+    def report(self, tmp_path):
+        target = tmp_path / "pipeline.py"
+        target.write_text(
+            "def job(rdd):\n"
+            "    seen = []\n"
+            "    return rdd.map(lambda x: seen.append(x) or x)\n"
+        )
+        return lint_paths([target], options=WITH_CLOUDPICKLE)
+
+    def test_text_format(self, report):
+        out = render(report, "text")
+        assert "REPRO104" in out
+        assert "checked 1 file(s)" in out
+
+    def test_json_format(self, report):
+        payload = json.loads(render(report, "json"))
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "REPRO104"
+        assert payload["findings"][0]["severity"] == "error"
+
+    def test_github_format(self, report):
+        out = render(report, "github")
+        assert out.startswith("::error file=")
+        assert "title=REPRO104" in out
+
+    def test_cli_lint_exit_codes(self, report, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def job(rdd, k):\n    return rdd.map(lambda x: x + k)\n")
+        assert main(["lint", str(clean)]) == 0
+        assert main(["lint", str(tmp_path / "pipeline.py")]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--list-rules"]) == 0
+        assert "REPRO110" in capsys.readouterr().out
+
+
+@pytest.fixture(params=["sequential", "thread", "process"])
+def strict_ctx(request):
+    with EngineContext(default_parallelism=2, backend=request.param, strict=True) as ctx:
+        yield ctx
+
+
+class TestStrictMode:
+    def test_clean_pipeline_passes(self, strict_ctx):
+        out = strict_ctx.parallelize(range(20), 2).map(lambda x: x * 2).collect()
+        assert out == [x * 2 for x in range(20)]
+
+    def test_unpicklable_capture_caught(self, strict_ctx):
+        # Regression: a lock smuggled into a closure must be rejected
+        # driver-side on *every* backend, not crash mid-shuffle on process.
+        lock = threading.Lock()
+        with pytest.raises(StrictModeViolation) as err:
+            strict_ctx.parallelize(range(4), 2).map(lambda x: (lock, x) and x).collect()
+        assert err.value.rule == "REPRO105"
+        assert "lock" in str(err.value)
+
+    def test_mutable_capture_mutation_caught(self, strict_ctx):
+        seen = []
+        if strict_ctx.backend_name == "process":
+            # The write lands in a worker's copy of the closure, so the
+            # driver-side list never changes — the exact data loss the
+            # sanitizer exists to flag on the in-process backends.
+            strict_ctx.parallelize(range(4), 2).map(
+                lambda x: seen.append(x) or x  # repro: noqa[REPRO104] — deliberate hazard
+            ).collect()
+            assert seen == []
+        else:
+            with pytest.raises(StrictModeViolation) as err:
+                strict_ctx.parallelize(range(4), 2).map(
+                    lambda x: seen.append(x) or x  # repro: noqa[REPRO104] — deliberate hazard
+                ).collect()
+            assert err.value.rule == "REPRO104"
+
+    def test_accumulator_is_exempt(self, strict_ctx):
+        acc = Accumulator(0, lambda a, b: a + b)
+        strict_ctx.parallelize(range(10), 2).foreach(lambda x: acc.add(x))
+        assert acc.value == 45
+
+    def test_broadcast_mutation_caught(self):
+        with EngineContext(default_parallelism=2, strict=True) as ctx:
+            table = ctx.broadcast({"k": 1})
+            with pytest.raises(StrictModeViolation) as err:
+                ctx.parallelize(range(4), 2).map(
+                    lambda x: table.value.__setitem__("k", x) or x  # repro: noqa[REPRO109] — deliberate hazard
+                ).collect()
+            assert err.value.rule == "REPRO109"
+
+    def test_broadcast_read_is_fine(self, strict_ctx):
+        table = strict_ctx.broadcast({"k": 10})
+        out = strict_ctx.parallelize(range(4), 2).map(lambda x: x + table.value["k"])
+        assert out.collect() == [10, 11, 12, 13]
+
+    def test_non_strict_context_unchanged(self):
+        with EngineContext(default_parallelism=2) as ctx:
+            seen = []
+            ctx.parallelize(range(4), 2).map(
+                lambda x: seen.append(x) or x  # repro: noqa[REPRO104] — deliberate hazard
+            ).collect()
+            assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_worker_copy_sheds_sanitizer(self):
+        import pickle
+
+        ctx = EngineContext(strict=True)
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone._sanitizer is None
+        assert clone._worker_side
+
+    def test_accumulator_protocol_detection(self):
+        assert is_accumulator(Accumulator(0, lambda a, b: a + b))
+        assert not is_accumulator(set())  # has .add but no .reset
+        assert not is_accumulator([])
+
+
+class _BrokenAssign:
+    """Minimal partitioner double breaking the assign contract."""
+
+    def __init__(self, n=2, result=99):
+        self.num_partitions = n
+        self._result = result
+
+    def assign(self, instance):
+        return self._result
+
+    def boundaries(self):
+        box = STBox((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        return [box] * self.num_partitions
+
+
+class TestPartitionerValidation:
+    def test_out_of_range_assign_rejected(self):
+        events = make_events(5)
+        with pytest.raises(StrictModeViolation) as err:
+            validate_partitioner(_BrokenAssign(), events)
+        assert err.value.rule == "REPRO110"
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(StrictModeViolation):
+            validate_partitioner(_BrokenAssign(n=0), [])
+
+    def test_real_partitioner_validates_through_partition(self):
+        from repro.partitioners import TSTRPartitioner
+
+        events = make_events(200)
+        with EngineContext(default_parallelism=4, strict=True) as ctx:
+            out = TSTRPartitioner(gt=2, gs=2).partition(ctx.parallelize(events, 4))
+            assert out.count() == len(events)
+
+    def test_broken_partitioner_caught_through_partition(self):
+        class Bad(_BrokenAssign):
+            def fit(self, sample):
+                pass
+
+            def partition(self, rdd):
+                from repro.partitioners.base import STPartitioner
+
+                return STPartitioner.partition(self, rdd)
+
+        events = make_events(50)
+        with EngineContext(default_parallelism=2, strict=True) as ctx:
+            with pytest.raises(StrictModeViolation) as err:
+                Bad().partition(ctx.parallelize(events, 2))
+            assert err.value.rule == "REPRO110"

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import EngineContext
+from repro.engine import Accumulator, EngineContext
 from repro.ml.forecast import evaluate_forecast
 
 
@@ -20,12 +20,12 @@ class TestCheckpoint:
         assert restored.partition_sizes() == rdd.partition_sizes()
 
     def test_lineage_truncated(self, ctx, tmp_path):
-        calls = []
-        rdd = ctx.parallelize(range(10), 2).map(lambda x: calls.append(x) or x)
+        calls = Accumulator([], lambda a, b: a + b)
+        rdd = ctx.parallelize(range(10), 2).map(lambda x: calls.add([x]) or x)
         restored = rdd.checkpoint(tmp_path / "ck")
-        calls.clear()
+        calls.reset()
         restored.count()
-        assert calls == []  # upstream map never re-runs
+        assert calls.value == []  # upstream map never re-runs
 
     def test_files_written(self, ctx, tmp_path):
         ctx.parallelize(range(10), 4).checkpoint(tmp_path / "ck")

@@ -1,6 +1,5 @@
 """CLI and accumulator tests."""
 
-import pytest
 
 from repro.cli import main
 from repro.engine import Accumulator, EngineContext, counter

@@ -78,9 +78,6 @@ class TestBaselineCodec:
     @settings(max_examples=40)
     def test_selection_predicate_survives_roundtrip(self, traj):
         """A baseline must select the same records ST4ML does."""
-        from repro.geometry import Envelope
-        from repro.temporal import Duration
-
         restored = geo_record_to_instance(instance_to_geo_record(traj))
         env = traj.spatial_extent.expanded(0.1)
         dur = traj.temporal_extent.expanded(1.0)

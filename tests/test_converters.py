@@ -22,7 +22,7 @@ from repro.core.structures import (
     TimeSeriesStructure,
 )
 from repro.engine import EngineContext
-from repro.geometry import Envelope, Point, Polygon
+from repro.geometry import Envelope, Polygon
 from repro.instances import Event, Raster, SpatialMap, TimeSeries, Trajectory
 from repro.temporal import Duration
 from tests.conftest import make_events, make_trajectories

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import EngineContext
+from repro.engine import Accumulator, EngineContext
 
 
 @pytest.fixture
@@ -287,24 +287,24 @@ class TestActions:
 
 class TestCaching:
     def test_persist_prevents_recompute(self, ctx):
-        calls = []
+        calls = Accumulator([], lambda a, b: a + b)
 
         def track(x):
-            calls.append(x)
+            calls.add([x])
             return x
 
         rdd = ctx.parallelize(range(10), 2).map(track).persist()
         rdd.count()
         rdd.count()
-        assert len(calls) == 10  # second action served from cache
+        assert len(calls.value) == 10  # second action served from cache
 
     def test_unpersist_recomputes(self, ctx):
-        calls = []
-        rdd = ctx.parallelize(range(5), 1).map(lambda x: calls.append(x) or x).persist()
+        calls = Accumulator([], lambda a, b: a + b)
+        rdd = ctx.parallelize(range(5), 1).map(lambda x: calls.add([x]) or x).persist()
         rdd.count()
         rdd.unpersist()
         rdd.count()
-        assert len(calls) == 10
+        assert len(calls.value) == 10
 
     def test_cache_alias(self, ctx):
         rdd = ctx.parallelize([1]).cache()

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.core import InstanceRDD, Selector
 from repro.core.converters import (
     Raster2SmConverter,

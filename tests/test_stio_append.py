@@ -6,7 +6,7 @@ from repro.core import Selector
 from repro.engine import EngineContext
 from repro.geometry import Envelope
 from repro.partitioners import TSTRPartitioner
-from repro.stio import StDataset, save_dataset
+from repro.stio import save_dataset
 from repro.temporal import Duration
 from tests.conftest import make_events
 
