@@ -39,6 +39,28 @@ N_TRAJECTORIES = 1_500
 #: to compare Figure 5/7 numbers across backends.
 BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "sequential")
 
+#: Opt-in per-benchmark tracing: ``REPRO_BENCH_PROFILE=1`` installs a tracer
+#: around every benchmark and writes ``results/trace-<test>.{trace.json,…}``.
+#: Off by default — tracing materializes each phase eagerly, which changes
+#: the evaluation boundaries the wall-clock figures are supposed to measure.
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "") not in ("", "0")
+
+
+@pytest.fixture(autouse=True)
+def bench_trace(request):
+    if not BENCH_PROFILE:
+        yield None
+        return
+    from repro.obs import Tracer, installed, write_trace_files
+
+    tracer = Tracer()
+    with installed(tracer):
+        yield tracer
+    safe = request.node.name.replace("/", "_").replace("[", "-").rstrip("]")
+    out = Path(__file__).resolve().parent / "results" / f"trace-{safe}"
+    paths = write_trace_files(tracer, out)
+    print(f"\n[bench-trace] {paths['chrome']}")
+
 
 def fresh_ctx(backend: str | None = None) -> EngineContext:
     return EngineContext(default_parallelism=8, backend=backend or BENCH_BACKEND)

@@ -54,6 +54,7 @@ from repro.partitioners import (
     TBalancePartitioner,
     TSTRPartitioner,
 )
+from repro.obs import Tracer, profiled
 from repro.stio import StDataset, load_dataset, save_dataset
 
 __version__ = "1.0.0"
@@ -89,5 +90,7 @@ __all__ = [
     "StDataset",
     "save_dataset",
     "load_dataset",
+    "Tracer",
+    "profiled",
     "__version__",
 ]

@@ -12,14 +12,21 @@ surface a data engineer needs without writing code:
   pruning statistics;
 * ``info``     — print a dataset's metadata summary;
 * ``lint``     — static distributed-correctness checks on stage closures
-  (see :mod:`repro.analysis`).
+  (see :mod:`repro.analysis`);
+* ``trace``    — run a pipeline script under the tracer and export its
+  span tree (Chrome trace JSON / text summary / JSONL).
+
+Any subcommand also accepts ``--profile [PATH]``, which installs a tracer
+around the whole command and writes the same three trace files.
 
 Usage::
 
     python -m repro.cli generate nyc --records 50000 --out data/nyc
     python -m repro.cli select data/nyc --bbox -74.0 40.6 -73.9 40.8 \
         --time 1356998400 1357603200
+    python -m repro.cli --profile traces/select select data/nyc --bbox ...
     python -m repro.cli lint src/ tests/ --format github
+    python -m repro.cli trace examples/quickstart.py --backend process
 """
 
 from __future__ import annotations
@@ -162,6 +169,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+    import runpy
+
+    from repro.obs import Tracer, installed, text_tree, write_trace_files
+
+    script = Path(args.script)
+    if not script.exists():
+        print(f"trace: no such script: {script}", file=sys.stderr)
+        return 2
+    out = args.out or Path("traces") / script.stem
+    tracer = Tracer()
+    # Scripts typically build their own EngineContext; REPRO_DEFAULT_BACKEND
+    # steers those constructions without editing the script.
+    previous_backend = os.environ.get("REPRO_DEFAULT_BACKEND")
+    os.environ["REPRO_DEFAULT_BACKEND"] = args.backend
+    try:
+        with installed(tracer):
+            runpy.run_path(str(script), run_name="__main__")
+    finally:
+        if previous_backend is None:
+            os.environ.pop("REPRO_DEFAULT_BACKEND", None)
+        else:
+            os.environ["REPRO_DEFAULT_BACKEND"] = previous_backend
+    paths = write_trace_files(tracer, out)
+    if not args.quiet:
+        print(text_tree(tracer))
+        print()
+    for kind, path in sorted(paths.items()):
+        print(f"{kind} trace written to {path}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     meta = StDataset(args.path).metadata()
     print(f"dataset: {args.path}")
@@ -190,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="sequential",
         help="stage-execution backend (process runs tasks on a multiprocess "
         "pool with straggler re-execution)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="traces/profile",
+        default=None,
+        metavar="PATH",
+        help="profile the command: install a tracer and write "
+        "PATH.trace.json (Chrome/Perfetto), PATH.summary.txt, and "
+        "PATH.jsonl (default PATH: traces/profile)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -259,6 +309,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     lint.set_defaults(func=_cmd_lint)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a pipeline script under the tracer and export the trace",
+        description="Executes SCRIPT (as __main__) with a tracer installed "
+        "globally, then writes the Chrome trace-event JSON, text summary "
+        "tree, and JSONL exports.  The script's EngineContexts pick up "
+        "--backend via REPRO_DEFAULT_BACKEND.",
+    )
+    trace.add_argument("script", type=Path)
+    trace.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path prefix (default: traces/<script-stem>)",
+    )
+    trace.add_argument(
+        "--quiet", action="store_true", help="skip printing the summary tree"
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -266,6 +336,16 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile is not None and args.command != "trace":
+        from repro.obs import Tracer, installed, write_trace_files
+
+        tracer = Tracer()
+        with installed(tracer):
+            code = args.func(args)
+        paths = write_trace_files(tracer, args.profile)
+        for kind, path in sorted(paths.items()):
+            print(f"{kind} trace written to {path}")
+        return code
     return args.func(args)
 
 

@@ -7,6 +7,7 @@ from typing import Any, Callable, Sequence
 
 from repro.engine.rdd import RDD
 from repro.geometry.base import Geometry
+from repro.obs.tracer import phase as _phase_span
 from repro.geometry.linestring import LineString
 from repro.instances.base import Instance
 from repro.instances.event import Event
@@ -74,6 +75,11 @@ class AllocationStats:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = Lock()
+
+
+def _is_primary(instance: Instance) -> bool:
+    """False only for the tagged replicas of duplicate-mode partitioning."""
+    return getattr(instance, "dup_primary", True)
 
 
 def _matches_cell(instance: Instance, geom: Geometry | None, dur: Duration | None) -> bool:
@@ -213,32 +219,51 @@ class ToCollectiveConverter:
           before allocation (the paper's ``preMap`` extension point);
         * ``agg`` — per-cell aggregation of the allocated array (the
           paper's ``agg``); when omitted, cell values are the raw arrays.
+
+        Under an active tracer the conversion runs eagerly inside a
+        "Conversion" phase span, so its allocation work is billed to this
+        phase rather than to whatever action later forces the lineage.
         """
-        if pre_map is not None:
-            rdd = rdd.map(pre_map)
-        if self.method == "rtree" or (
-            self.method == "auto" and not self.structure.is_regular
-        ):
-            # Build the cell index once on the "driver" and broadcast it,
-            # rather than rebuilding per executor (Section 4.2).
-            self.structure.rtree()
-        broadcast = rdd.ctx.broadcast(
-            self.structure, record_count=self.structure.n_cells
-        )
-        method = self.method
-        stats = self.stats
+        with _phase_span("Conversion", rdd.ctx.tracer) as span:
+            # Duplicate-mode selection replicates boundary instances into
+            # every overlapping partition; collective aggregation must see
+            # each instance exactly once, so the tagged replicas are
+            # dropped before anything else (before ``pre_map``, which may
+            # rebuild instances and lose the tag).  The primary copy is
+            # allocated wherever it lives — structure cells are
+            # partition-independent.
+            rdd = rdd.filter(_is_primary)
+            if pre_map is not None:
+                rdd = rdd.map(pre_map)
+            if self.method == "rtree" or (
+                self.method == "auto" and not self.structure.is_regular
+            ):
+                # Build the cell index once on the "driver" and broadcast it,
+                # rather than rebuilding per executor (Section 4.2).
+                self.structure.rtree()
+            broadcast = rdd.ctx.broadcast(
+                self.structure, record_count=self.structure.n_cells
+            )
+            method = self.method
+            stats = self.stats
 
-        def fill(partition: list) -> list:
-            structure = broadcast.value
-            cell_arrays = allocate(partition, structure, method, stats)
-            if agg is not None:
-                values = [agg(arr) for arr in cell_arrays]
-            else:
-                values = cell_arrays
-            instance = structure.empty_instance().with_cell_values(values)
-            return [instance]
+            def fill(partition: list) -> list:
+                structure = broadcast.value
+                cell_arrays = allocate(partition, structure, method, stats)
+                if agg is not None:
+                    values = [agg(arr) for arr in cell_arrays]
+                else:
+                    values = cell_arrays
+                instance = structure.empty_instance().with_cell_values(values)
+                return [instance]
 
-        return rdd.map_partitions(fill)
+            converted = rdd.map_partitions(fill)
+            if span is not None:
+                converted = rdd.ctx.from_partitions(
+                    converted._collect_partitions()
+                )
+                span.args.update(cells=self.structure.n_cells, **self.stats.snapshot())
+        return converted
 
     def convert_merged(
         self,
@@ -252,5 +277,6 @@ class ToCollectiveConverter:
         ``agg`` collapsed them.
         """
         merge = combine or (lambda a, b: a + b)
-        partials = self.convert(rdd, pre_map=pre_map)
-        return partials.reduce(lambda x, y: x.merge_with(y, merge))
+        with _phase_span("Conversion", rdd.ctx.tracer):
+            partials = self.convert(rdd, pre_map=pre_map)
+            return partials.reduce(lambda x, y: x.merge_with(y, merge))

@@ -8,6 +8,7 @@ from typing import Any, Callable
 from repro.engine.rdd import RDD
 from repro.geometry.base import Geometry
 from repro.instances.collective import CollectiveInstance
+from repro.obs.tracer import phase as _phase_span
 from repro.temporal.duration import Duration
 
 
@@ -26,8 +27,17 @@ class CustomExtractor:
         self.f = f
 
     def extract(self, rdd: RDD) -> RDD:
-        """Run this extraction on the RDD (see class docstring)."""
-        return self.f(rdd)
+        """Run this extraction on the RDD (see class docstring).
+
+        Under an active tracer the extraction runs inside an "Extraction"
+        phase span, materialized eagerly when ``f`` returns an RDD so the
+        work is billed to this phase.
+        """
+        with _phase_span("Extraction", rdd.ctx.tracer) as span:
+            result = self.f(rdd)
+            if span is not None and isinstance(result, RDD):
+                result = rdd.ctx.from_partitions(result._collect_partitions())
+        return result
 
 
 class CellAggExtractor(ABC):
@@ -67,8 +77,11 @@ class CellAggExtractor(ABC):
         def to_partial(instance: CollectiveInstance) -> CollectiveInstance:
             return instance.map_value_plus(local)
 
-        merged = rdd.map(to_partial).reduce(lambda a, b: a.merge_with(b, merge))
-        return merged.map_value(self.finalize)
+        # ``reduce`` is an action, so the phase span brackets real work
+        # (plus any still-lazy upstream lineage) without extra forcing.
+        with _phase_span("Extraction", rdd.ctx.tracer):
+            merged = rdd.map(to_partial).reduce(lambda a, b: a.merge_with(b, merge))
+            return merged.map_value(self.finalize)
 
     def extract_values(self, rdd: RDD) -> list:
         """Convenience: just the per-cell features, in cell order."""

@@ -15,6 +15,11 @@ from repro.geometry.distance import (
 from repro.instances.event import Event
 
 
+def _is_primary(event: Event) -> bool:
+    """False only for the tagged replicas of duplicate-mode partitioning."""
+    return getattr(event, "dup_primary", True)
+
+
 class EventAnomalyExtractor:
     """Events occurring inside an hour-of-day window.
 
@@ -137,6 +142,11 @@ class EventClusterExtractor:
         """Run this extraction on the RDD (see class docstring)."""
         cell = self.cell_degrees
         min_count = self.min_count
+
+        # Cluster counts are a global aggregate: the replicas that
+        # duplicate-mode partitioning fans out across partitions must not
+        # inflate cell counts, so only primary copies are counted.
+        rdd = rdd.filter(_is_primary)
 
         def snap(ev: Event) -> tuple:
             return (

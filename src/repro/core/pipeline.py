@@ -7,9 +7,11 @@ pipeline.  Purely a convenience — each operator remains usable on its own.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any
 
 from repro.engine.context import EngineContext
+from repro.obs.tracer import phase as _phase_span
 
 
 class Pipeline:
@@ -35,10 +37,27 @@ class Pipeline:
         self.extractor = extractor
 
     def run(self, ctx: EngineContext, source, **select_kwargs) -> Any:
-        """Execute all configured stages and return the final output."""
-        data = self.selector.select(ctx, source, **select_kwargs)
-        if self.converter is not None:
-            data = self.converter.convert(data)
-        if self.extractor is not None:
-            return self.extractor.extract(data)
-        return data
+        """Execute all configured stages and return the final output.
+
+        Under an active tracer (``ctx.tracer`` or the globally installed
+        one) the whole run sits inside a root ``pipeline`` span, with each
+        operator contributing its own phase span — operators that already
+        instrument themselves (the Selector, the collective converters,
+        the cell-aggregating extractors) are not double-wrapped, and the
+        explicit phase wrappers here cover custom operators that don't.
+        """
+        tracer = ctx.tracer
+        root = (
+            tracer.span("pipeline", "pipeline", default_scope=True)
+            if tracer is not None
+            else nullcontext()
+        )
+        with root:
+            data = self.selector.select(ctx, source, **select_kwargs)
+            if self.converter is not None:
+                with _phase_span("Conversion", tracer):
+                    data = self.converter.convert(data)
+            if self.extractor is not None:
+                with _phase_span("Extraction", tracer):
+                    return self.extractor.extract(data)
+            return data

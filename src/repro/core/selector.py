@@ -21,12 +21,14 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro.engine.accumulators import Accumulator, counter
 from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.geometry.envelope import Envelope
-from repro.index.boxes import STBox
+from repro.index.boxes import STBox, st_query_box
 from repro.index.rtree import RTree
 from repro.instances.base import Instance
+from repro.obs.tracer import phase as _phase_span
 from repro.stio.dataset import LoadStats, StDataset
 from repro.temporal.duration import Duration
 
@@ -86,6 +88,12 @@ class Selector:
         self.backend = backend
         #: I/O statistics of the last ``select`` from disk (Figure 5 data).
         self.last_load_stats: LoadStats | None = None
+        #: R-tree probe work of the last ``select``: node + entry tests
+        #: across every per-partition index query.  An accumulator because
+        #: the trees are task-local; on the process backend worker-side
+        #: additions cannot reach this driver-side cell, so the total is a
+        #: lower bound there (exact on sequential/thread backends).
+        self.rtree_probes: Accumulator[int] = counter("rtree_probes")
 
     # -- loading -------------------------------------------------------------------
 
@@ -108,15 +116,16 @@ class Selector:
     # -- filtering ------------------------------------------------------------------
 
     def _query_box(self) -> STBox:
-        spatial = self.spatial or Envelope(-1e18, -1e18, 1e18, 1e18)
-        temporal = self.temporal or Duration(-1e18, 1e18)
-        return STBox.from_st(spatial, temporal)
+        # The same canonical box the metadata index prunes with — shared
+        # construction is what keeps pruned and full-scan loads equivalent.
+        return st_query_box(self.spatial, self.temporal)
 
     def _filter(self, rdd: RDD) -> RDD:
         spatial = self.spatial
         temporal = self.temporal
         box = self._query_box()
         use_index = self.index
+        probes = self.rtree_probes
 
         def exact(inst: Instance) -> bool:
             s = spatial if spatial is not None else inst.spatial_extent
@@ -133,6 +142,7 @@ class Selector:
                     ((inst.st_box(), inst) for inst in partition), capacity=32
                 )
                 candidates = tree.query(box)
+                probes.add(tree.stats.node_tests + tree.stats.entry_tests)
             else:
                 candidates = partition
             return [inst for inst in candidates if exact(inst)]
@@ -151,20 +161,58 @@ class Selector:
 
         ``source`` may be a dataset directory (metadata-pruned when
         ``use_metadata``), an RDD, or a plain instance list.
+
+        Under an active tracer the whole selection runs eagerly inside a
+        "Selection" phase span (profiling moves the evaluation boundary —
+        otherwise all the scan work would be billed to whatever action
+        later forces the lineage) and the phase counters — partitions
+        pruned vs scanned, R-tree probes — are recorded.
         """
-        loaded = self._load(ctx, source, use_metadata)
-        selected = self._filter(loaded)
-        if self.partitioner is not None:
-            selected = self.partitioner.partition(selected, duplicate=self.duplicate)
-        elif (
-            self.num_partitions is not None
-            and self.num_partitions != selected.num_partitions
-        ):
-            selected = selected.repartition(self.num_partitions)
-        if self.backend is None:
-            return selected
-        # Dedicated-backend selection is eager: the override is scoped to
-        # this call, so the scan must run now, not at a later action.
-        with ctx.using_backend(self.backend):
-            partitions = selected._collect_partitions()
-        return ctx.from_partitions(partitions)
+        with _phase_span("Selection", ctx.tracer) as span:
+            self.rtree_probes.reset()
+            loaded = self._load(ctx, source, use_metadata)
+            selected = self._filter(loaded)
+            if self.partitioner is not None:
+                selected = self.partitioner.partition(
+                    selected, duplicate=self.duplicate
+                )
+            elif (
+                self.num_partitions is not None
+                and self.num_partitions != selected.num_partitions
+            ):
+                selected = selected.repartition(self.num_partitions)
+            if self.backend is not None:
+                # Dedicated-backend selection is eager: the override is
+                # scoped to this call, so the scan must run now, not at a
+                # later action.
+                with ctx.using_backend(self.backend):
+                    partitions = selected._collect_partitions()
+                selected = ctx.from_partitions(partitions)
+            elif span is not None:
+                selected = ctx.from_partitions(selected._collect_partitions())
+            if span is not None:
+                self._record_phase_counters(
+                    ctx,
+                    span,
+                    from_disk=isinstance(source, (str, Path)),
+                )
+        return selected
+
+    def _record_phase_counters(self, ctx: EngineContext, span, from_disk: bool) -> None:
+        tracer = ctx.tracer
+        if tracer is None:  # pragma: no cover - span implies a tracer
+            return
+        probes = self.rtree_probes.value
+        tracer.counter("rtree_probes", probes)
+        span.args["rtree_probes"] = probes
+        stats = self.last_load_stats if from_disk else None
+        if stats is not None:
+            pruned = stats.partitions_total - stats.partitions_selected
+            tracer.counter("partitions_scanned", stats.partitions_selected)
+            tracer.counter("partitions_pruned", pruned)
+            span.args.update(
+                partitions_scanned=stats.partitions_selected,
+                partitions_pruned=pruned,
+                records_loaded=stats.records_loaded,
+                bytes_read=stats.bytes_read,
+            )

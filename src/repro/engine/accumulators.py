@@ -47,6 +47,20 @@ class Accumulator(Generic[T]):
         label = f" {self.name!r}" if self.name else ""
         return f"Accumulator{label}(value={self.value!r})"
 
+    # Task closures capture accumulators, so the process backend pickles
+    # them into workers; the lock must not travel.  A worker's copy folds
+    # locally and its total is lost when the worker exits — the documented
+    # best-effort semantics of accumulators across process boundaries
+    # (same pattern as AllocationStats).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = Lock()
+
 
 def counter(name: str = "") -> Accumulator[int]:
     """The common case: an integer counter starting at zero."""

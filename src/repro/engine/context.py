@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from contextlib import contextmanager
 from threading import Lock
-from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.engine.broadcast import Broadcast
 from repro.engine.errors import TaskFailure
 from repro.engine.exec import Backend, SequentialBackend, StageSpec, resolve_backend
 from repro.engine.metrics import JobMetrics, TaskMetrics
 from repro.engine.sanitizer import StageSanitizer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
 
 T = TypeVar("T")
 
@@ -35,9 +40,18 @@ class EngineContext:
     backend:
         Stage-execution strategy: a name (``"sequential"`` | ``"thread"``
         | ``"process"``), a :class:`~repro.engine.exec.Backend` instance,
-        or ``None`` for the default.  Sequential execution keeps benchmark
+        or ``None`` for the default.  With ``None`` the
+        ``REPRO_DEFAULT_BACKEND`` environment variable is consulted first
+        (how ``repro trace --backend`` steers scripts that build their own
+        context), then ``parallel``.  Sequential execution keeps benchmark
         timings deterministic; the engine's counted-work metrics are
         identical on every backend.
+    tracer:
+        A :class:`~repro.obs.Tracer` receiving stage/task spans and engine
+        counters.  ``None`` (the default) falls back to the globally
+        installed tracer (:func:`repro.obs.current_tracer`), so profiling
+        can be enabled around unmodified code; when neither is set the
+        instrumentation is skipped entirely.
     backend_options:
         Extra constructor kwargs for a backend given by name (e.g.
         ``{"task_timeout": 30.0}`` for the process backend).
@@ -60,6 +74,7 @@ class EngineContext:
         backend: "str | Backend | None" = None,
         backend_options: dict | None = None,
         strict: bool = False,
+        tracer: "Tracer | None" = None,
     ):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be positive")
@@ -68,8 +83,11 @@ class EngineContext:
         self.default_parallelism = default_parallelism
         self.max_task_retries = max_task_retries
         self.metrics = JobMetrics()
+        self._tracer_override = tracer
         if backend is None:
-            backend = "thread" if parallel else "sequential"
+            backend = os.environ.get("REPRO_DEFAULT_BACKEND") or (
+                "thread" if parallel else "sequential"
+            )
         self._backend = resolve_backend(backend, default_parallelism, backend_options)
         self._inline = SequentialBackend()
         self.strict = strict
@@ -82,6 +100,25 @@ class EngineContext:
         #: Test hook: callable ``(partition, attempt) -> None`` invoked before
         #: each task attempt; raising simulates an executor fault.
         self.task_failure_injector: Callable[[int, int], None] | None = None
+
+    # -- tracing ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """The tracer receiving this context's spans, if any.
+
+        The explicit constructor argument wins; otherwise the globally
+        installed tracer is used.  Worker-side context copies never trace:
+        their spans would die with the worker (task timing still reaches
+        the driver's tracer through the shipped outcomes).
+        """
+        if self._worker_side:
+            return None
+        if self._tracer_override is not None:
+            return self._tracer_override
+        from repro.obs.tracer import current_tracer
+
+        return current_tracer()
 
     # -- backend selection --------------------------------------------------------
 
@@ -175,6 +212,19 @@ class EngineContext:
         with self._metrics_lock:
             self.metrics.broadcast_count += 1
             self.metrics.broadcast_records += record_count
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.counter("broadcasts", 1)
+            tracer.counter("broadcast_records", record_count)
+            # Payload size is metered only under tracing: serializing the
+            # value is exactly the cost the untraced hot path avoids.
+            try:
+                tracer.counter(
+                    "broadcast_bytes",
+                    len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)),
+                )
+            except Exception:  # unpicklable broadcasts still broadcast fine
+                pass
         broadcast = Broadcast(value)
         if self._sanitizer is not None:
             self._sanitizer.register_broadcast(broadcast)
@@ -196,6 +246,7 @@ class EngineContext:
         """
         with self._metrics_lock:
             self.metrics.stages += 1
+            stage_no = self.metrics.stages
 
         def tracked(partition: int) -> list:
             # Mark "inside a task" so nested stages (a shuffle's map side
@@ -217,6 +268,19 @@ class EngineContext:
         )
         nested = getattr(self._in_task, "active", False) or self._worker_side
         backend = self._inline if nested or num_partitions == 1 else self._backend
+        # Trace only driver-side top-level stages: nested stages run inline
+        # inside an already-spanned task, and which side of a process
+        # boundary they land on is backend-dependent — skipping them keeps
+        # the span tree identical across backends.
+        tracer = self.tracer if not nested else None
+        stage_span = None
+        if tracer is not None:
+            stage_span = tracer.begin(
+                f"stage-{stage_no}",
+                "stage",
+                backend=backend.name,
+                partitions=num_partitions,
+            )
         # Strict mode inspects only driver-side top-level stages — nested
         # stages run inside a task whose closure was already vetted.
         snapshot = None
@@ -236,6 +300,8 @@ class EngineContext:
                         failed_seconds=failure.elapsed_seconds,
                     )
                 )
+            if stage_span is not None:
+                tracer.finish(stage_span, failed=True)
             raise
         outcomes = sorted(stage.outcomes, key=lambda o: o.partition)
         with self._metrics_lock:
@@ -252,17 +318,64 @@ class EngineContext:
                         failed_seconds=outcome.failed_seconds,
                         worker=outcome.worker,
                         speculative=outcome.speculative,
+                        started_wall=outcome.started_wall,
                     )
                 )
+        if stage_span is not None:
+            self._trace_stage(tracer, stage_span, stage, outcomes)
         if snapshot is not None:
             self._sanitizer.verify_stage(task, snapshot)
         return [outcome.result for outcome in outcomes]
+
+    def _trace_stage(self, tracer, stage_span, stage, outcomes) -> None:
+        """Replay a finished stage's task outcomes as spans + counters.
+
+        Task spans are reconstructed driver-side from the wall-clock
+        stamps every backend's outcomes carry — this is the whole
+        tracer↔backend contract, and why it works unchanged for the
+        process backend, whose workers never see the tracer.
+        """
+        records = 0
+        for outcome in outcomes:
+            records += len(outcome.result)
+            start = outcome.started_wall or stage_span.start
+            tracer.add_span(
+                f"task-{outcome.partition}",
+                "task",
+                start,
+                start + outcome.elapsed_seconds,
+                parent=stage_span,
+                track=outcome.worker,
+                partition=outcome.partition,
+                records_out=len(outcome.result),
+                attempts=outcome.attempts,
+                speculative=outcome.speculative,
+            )
+        tracer.counter("stages", 1)
+        tracer.counter("tasks", len(outcomes))
+        tracer.counter("records_out", records)
+        exec_window = (
+            max(0.0, stage.ended_wall - stage.started_wall)
+            if stage.ended_wall
+            else None
+        )
+        tracer.finish(
+            stage_span,
+            records_out=records,
+            speculative_launched=stage.speculative_launched,
+            speculative_wins=stage.speculative_wins,
+            **({"exec_window_seconds": round(exec_window, 6)} if exec_window is not None else {}),
+        )
 
     def record_shuffle(self, records: int) -> None:
         """Meter one shuffle's record volume."""
         with self._metrics_lock:
             self.metrics.shuffle_records += records
             self.metrics.shuffle_count += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.counter("shuffles", 1)
+            tracer.counter("shuffle_records", records)
 
     # -- pickling (process backend ships the context inside task closures) ----------
 
@@ -276,6 +389,9 @@ class EngineContext:
         state["_backend"] = None
         state["metrics"] = JobMetrics()
         state["_worker_side"] = True
+        # The tracer holds locks and thread-locals and is driver-only by
+        # design: worker-side spans could never reach the driver's tree.
+        state["_tracer_override"] = None
         # The sanitizer holds live broadcast references and only ever runs
         # driver-side; the worker copy gets none.
         state["_sanitizer"] = None

@@ -44,7 +44,11 @@ class TaskOutcome:
     and ``failed_seconds`` meter the retry overhead that preceded it;
     ``worker`` identifies the executor (thread name, process pid, or
     ``"driver"``); ``speculative`` marks results produced by a speculative
-    re-execution that beat the original copy.
+    re-execution that beat the original copy.  ``started_wall`` is the
+    epoch time (``time.time()``) at which the winning attempt began —
+    epoch rather than monotonic because process-backend outcomes are
+    stamped in another process, and wall clock is the only timebase the
+    driver's tracer shares with workers.
     """
 
     partition: int
@@ -55,15 +59,24 @@ class TaskOutcome:
     failed_seconds: float = 0.0
     worker: str = "driver"
     speculative: bool = False
+    started_wall: float = 0.0
 
 
 @dataclass
 class StageResult:
-    """A backend's report for one stage."""
+    """A backend's report for one stage.
+
+    ``started_wall``/``ended_wall`` bracket the backend's own execution
+    window (dispatch through last gather) in epoch seconds; the engine's
+    tracer subtracts this from its stage span to expose scheduling and
+    serialization overhead.  0.0 means the backend did not stamp them.
+    """
 
     outcomes: list[TaskOutcome] = field(default_factory=list)
     speculative_launched: int = 0
     speculative_wins: int = 0
+    started_wall: float = 0.0
+    ended_wall: float = 0.0
 
 
 def run_task_attempts(
@@ -84,6 +97,7 @@ def run_task_attempts(
     failed_seconds = 0.0
     for attempt in range(1, max_task_retries + 1):
         start = time.perf_counter()
+        start_wall = time.time()
         try:
             if failure_injector is not None:
                 failure_injector(partition, attempt)
@@ -101,6 +115,7 @@ def run_task_attempts(
             failed_attempts=failed_attempts,
             failed_seconds=failed_seconds,
             worker=worker,
+            started_wall=start_wall,
         )
     raise TaskFailure(partition, max_task_retries, last_error, elapsed_seconds=failed_seconds)
 

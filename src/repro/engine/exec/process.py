@@ -238,6 +238,7 @@ class ProcessBackend(Backend):
     def run_stage(self, spec: StageSpec) -> StageResult:
         from repro.engine.costmodel import suggest_task_chunks
 
+        started_wall = time.time()
         payload = _serialize_stage(spec)
         token = next(_stage_tokens)
         pool = self._ensure_pool()
@@ -254,7 +255,10 @@ class ProcessBackend(Backend):
             self._dispatch(pool, token, payload, spec, chunk, pending, speculative=False)
 
         try:
-            return self._gather(pool, token, payload, spec, chunks, pending)
+            result = self._gather(pool, token, payload, spec, chunks, pending)
+            result.started_wall = started_wall
+            result.ended_wall = time.time()
+            return result
         except BrokenProcessPool as exc:
             self.stop()
             raise EngineError(

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.exec.base import Backend, StageResult, StageSpec, run_task_attempts
 
 
@@ -18,10 +20,11 @@ class SequentialBackend(Backend):
     name = "sequential"
 
     def run_stage(self, spec: StageSpec) -> StageResult:
+        started = time.time()
         outcomes = [
             run_task_attempts(
                 spec.task, partition, spec.max_task_retries, spec.failure_injector
             )
             for partition in range(spec.num_partitions)
         ]
-        return StageResult(outcomes)
+        return StageResult(outcomes, started_wall=started, ended_wall=time.time())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.exec.base import Backend, StageResult, StageSpec, run_task_attempts
@@ -47,13 +48,15 @@ class ThreadBackend(Backend):
 
     def run_stage(self, spec: StageSpec) -> StageResult:
         pool = self._ensure_pool()
+        started = time.time()
         futures = [
             pool.submit(_run_in_thread, spec, partition)
             for partition in range(spec.num_partitions)
         ]
         # Gather in partition order so a multi-partition failure surfaces
         # the lowest failing partition, matching sequential execution.
-        return StageResult([future.result() for future in futures])
+        outcomes = [future.result() for future in futures]
+        return StageResult(outcomes, started_wall=started, ended_wall=time.time())
 
     def stop(self) -> None:
         if self._pool is not None:

@@ -35,6 +35,10 @@ class TaskMetrics:
     failed_seconds: float = 0.0
     worker: str = "driver"
     speculative: bool = False
+    #: Epoch time the winning attempt began (0.0 when unknown).  With
+    #: ``elapsed_seconds`` this replays the task as a trace-timeline span —
+    #: the only worker→driver channel the tracer needs on any backend.
+    started_wall: float = 0.0
 
 
 @dataclass

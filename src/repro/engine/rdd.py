@@ -19,6 +19,7 @@ retries failed tasks and records per-task metrics.
 
 from __future__ import annotations
 
+import pickle
 import random
 from bisect import bisect_right
 from collections import defaultdict
@@ -32,6 +33,21 @@ T = TypeVar("T")
 U = TypeVar("U")
 K = TypeVar("K")
 V = TypeVar("V")
+
+
+def _identity_key(x: Any) -> Any:
+    """Shuffle key for :meth:`RDD.distinct`: the element, or its bytes.
+
+    Unhashable elements can't serve as combine-dict keys, so they are
+    replaced by their pickled form (tagged to avoid colliding with a
+    legitimate ``(marker, bytes)`` element).  Module-level so the process
+    backend can ship it with stdlib pickle alone.
+    """
+    try:
+        hash(x)
+    except TypeError:
+        return ("__repro_unhashable__", pickle.dumps(x, protocol=pickle.HIGHEST_PROTOCOL))
+    return x
 
 
 class RDD(Generic[T]):
@@ -345,11 +361,31 @@ class RDD(Generic[T]):
         )
 
     def distinct(self, num_partitions: int | None = None) -> "RDD[T]":
-        """Unique elements (via a combine shuffle)."""
+        """Unique elements (via a combine shuffle).
+
+        Unhashable elements (instances whose ``data`` payload is a list or
+        dict) fall back to their serialized bytes as the identity key, so
+        equality is value equality up to pickle canonicalization — two
+        equal dicts built in different insertion orders serialize
+        differently and are kept as two elements.  Hashable elements use
+        ordinary ``==`` semantics, as before.
+        """
+        return self.distinct_by(_identity_key, num_partitions)
+
+    def distinct_by(
+        self, key: Callable[[T], Any], num_partitions: int | None = None
+    ) -> "RDD[T]":
+        """Unique elements under a key function; keeps one witness per key.
+
+        The workhorse behind :meth:`distinct`, exposed because callers
+        often have a cheaper or more meaningful identity than whole-object
+        equality — e.g. ``Instance.identity()`` to collapse the replicas
+        that ``duplicate=True`` selection fans out across partitions.
+        """
         return (
-            self.map(lambda x: (x, None))
+            self.map(lambda x: (key(x), x))
             .reduce_by_key(lambda a, _: a, num_partitions)
-            .keys()
+            .values()
         )
 
     def group_by(

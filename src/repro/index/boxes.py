@@ -14,6 +14,33 @@ from repro.geometry.envelope import Envelope
 from repro.temporal.duration import Duration
 
 
+#: Sentinel magnitude for unconstrained query dimensions; matches the
+#: partitioners' UNBOUNDED so query boxes and partition boundaries live on
+#: the same (finite, JSON-safe) scale.
+QUERY_UNBOUNDED = 1.0e18
+
+
+def st_query_box(
+    spatial: "Envelope | None", temporal: "Duration | None"
+) -> "STBox":
+    """The canonical 3-d (x, y, t) box of an ST range query.
+
+    ``None`` for either dimension means "unconstrained" and widens that
+    axis to ±:data:`QUERY_UNBOUNDED`.  Every layer that tests a query
+    against stored extents — the Selector's per-partition R-tree probe and
+    the metadata index's partition pruning — builds its box here, so the
+    pruning predicate and the in-memory filter agree *by construction*: a
+    metadata-pruned load and a full-scan load of the same query return
+    identical results, including on boundary-touching queries (all boxes
+    are closed on every side).
+    """
+    env = spatial or Envelope(
+        -QUERY_UNBOUNDED, -QUERY_UNBOUNDED, QUERY_UNBOUNDED, QUERY_UNBOUNDED
+    )
+    dur = temporal or Duration(-QUERY_UNBOUNDED, QUERY_UNBOUNDED)
+    return STBox.from_st(env, dur)
+
+
 class STBox:
     """An axis-aligned box in N dimensions (closed on every side)."""
 

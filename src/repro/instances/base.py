@@ -12,6 +12,8 @@ point-shaped and time-ordered).
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.geometry.base import Geometry
@@ -71,7 +73,7 @@ class Instance:
     application programmers for manipulating the data field in place.
     """
 
-    __slots__ = ("entries", "data")
+    __slots__ = ("entries", "data", "dup_primary")
 
     #: Overridden by subclasses; singular instances are atomic records,
     #: collective instances are structures of parallel cells.
@@ -83,6 +85,13 @@ class Instance:
             raise ValueError(f"{type(self).__name__} needs at least one entry")
         self.entries = entries
         self.data = data
+        # True on the original copy of an instance; duplicate-mode
+        # partitioning (Algorithm 1's ``duplicate`` flag) marks the extra
+        # per-partition replicas False so aggregate consumers can count
+        # each instance exactly once while local-neighborhood consumers
+        # (companion search) still see every copy.  Excluded from ``__eq__``:
+        # a replica *is* its original, value-wise.
+        self.dup_primary = True
 
     # -- ST extent -----------------------------------------------------------
 
@@ -137,7 +146,47 @@ class Instance:
         """Rebuild the same concrete type with new contents."""
         clone = object.__new__(type(self))
         Instance.__init__(clone, tuple(entries), data)
+        clone.dup_primary = self.dup_primary
         return clone
+
+    def replica(self) -> "Instance":
+        """A shallow copy marked as a non-primary duplicate.
+
+        Used by duplicate-mode partitioning for the extra copies routed to
+        secondary partitions; see :attr:`dup_primary`.
+        """
+        clone = self._replace(self.entries, self.data)
+        clone.dup_primary = False
+        return clone
+
+    def identity(self) -> bytes:
+        """A stable value-identity key, independent of the replica flag.
+
+        Two instances that compare ``==`` produce the same digest (modulo
+        pickle canonicalization of the ``data`` payload), so this is the
+        natural ``distinct_by`` key for collapsing duplicate-mode replicas
+        driver-side or across partitions.
+        """
+        payload = pickle.dumps(
+            (
+                type(self).__name__,
+                tuple(
+                    (
+                        e.spatial.envelope.min_x,
+                        e.spatial.envelope.min_y,
+                        e.spatial.envelope.max_x,
+                        e.spatial.envelope.max_y,
+                        e.temporal.start,
+                        e.temporal.end,
+                        e.value,
+                    )
+                    for e in self.entries
+                ),
+                self.data,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return hashlib.blake2b(payload, digest_size=16).digest()
 
     # -- value semantics ---------------------------------------------------------------
 

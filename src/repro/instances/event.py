@@ -62,7 +62,9 @@ class Event(Instance):
         if len(entries) != 1:
             raise ValueError("an event must keep exactly one entry")
         e = entries[0]
-        return Event(e.spatial, e.temporal, e.value, data)
+        clone = Event(e.spatial, e.temporal, e.value, data)
+        clone.dup_primary = self.dup_primary
+        return clone
 
     def __repr__(self) -> str:
         return f"Event({self.spatial!r}, {self.temporal!r}, data={self.data!r})"

@@ -1,0 +1,32 @@
+"""Observability: hierarchical tracing and profiling for the pipeline.
+
+The span tree (pipeline → phase → stage → task) plus a counter catalogue
+covering metadata pruning, R-tree probing, broadcast volume, and shuffle
+traffic.  See ``docs/architecture.md`` ("Observability") for the span
+model and how to open a trace in Perfetto.
+"""
+
+from repro.obs.export import chrome_trace, text_tree, to_jsonl, write_trace_files
+from repro.obs.profile import profiled
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    installed,
+    phase,
+    set_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "installed",
+    "phase",
+    "profiled",
+    "set_tracer",
+    "text_tree",
+    "to_jsonl",
+    "write_trace_files",
+]

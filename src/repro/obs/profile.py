@@ -1,0 +1,35 @@
+"""Convenience entry points for profiling a block of pipeline code."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.export import write_trace_files
+from repro.obs.tracer import Tracer, installed
+
+__all__ = ["profiled"]
+
+
+@contextmanager
+def profiled(out: str | Path | None = None) -> Iterator[Tracer]:
+    """Run a block with a fresh tracer installed globally.
+
+    ::
+
+        with profiled("results/run1") as tracer:
+            pipeline.run(ctx, data_dir)
+        print(tracer.counters)
+
+    When ``out`` is given, all three export formats are written on exit
+    (even if the block raises — a partial trace of a failed run is exactly
+    when you want one).
+    """
+    tracer = Tracer()
+    try:
+        with installed(tracer):
+            yield tracer
+    finally:
+        if out is not None:
+            write_trace_files(tracer, out)

@@ -17,6 +17,28 @@ if TYPE_CHECKING:  # pragma: no cover
 UNBOUNDED = 1.0e18
 
 
+def _fan_out(instance: Instance, assign, assign_all) -> list[tuple[int, Instance]]:
+    """(partition id, copy) pairs for one instance in duplicate mode.
+
+    One primary copy for ``assign(instance)``, one tagged replica per
+    additional overlapping partition.  Module-level so the process backend
+    can ship the routing stage with stdlib pickle.
+    """
+    primary = assign(instance)
+    return [
+        (pid, instance if pid == primary else instance.replica())
+        for pid in assign_all(instance)
+    ]
+
+
+def _routed_pid(pair: tuple[int, Instance]) -> int:
+    return pair[0]
+
+
+def _routed_instance(pair: tuple[int, Instance]) -> Instance:
+    return pair[1]
+
+
 class STPartitioner(ABC):
     """Learns boundaries from a sample, then assigns instances to partitions.
 
@@ -116,8 +138,20 @@ class STPartitioner(ABC):
             from repro.engine.sanitizer import validate_partitioner
 
             validate_partitioner(self, sample)
-        assigner = self.assign_all if duplicate else self.assign
-        return rdd.shuffle_by(self.num_partitions, assigner)
+        if not duplicate:
+            return rdd.shuffle_by(self.num_partitions, self.assign)
+        # Duplicate mode (Algorithm 1's ``duplicate`` flag): the copy that
+        # lands in ``assign(inst)``'s partition stays the primary; copies
+        # routed to other overlapping partitions are tagged replicas
+        # (``dup_primary=False``), so aggregates can skip them while
+        # local-neighborhood operators still see every copy.  The closed
+        # intervals of Duration/Envelope intersection mean an instance
+        # sitting exactly on a cell boundary always fans out — without the
+        # tag it would be double-counted downstream.
+        assign = self.assign
+        assign_all = self.assign_all
+        routed = rdd.flat_map(lambda inst: _fan_out(inst, assign, assign_all))
+        return routed.shuffle_by(self.num_partitions, _routed_pid).map(_routed_instance)
 
     def partition_with_info(
         self,

@@ -26,9 +26,14 @@ class LoadStats:
 
     ``partitions_total`` vs ``partitions_read`` is the pruning ratio;
     ``records_loaded`` is what Figure 5c/d plot as "memory loaded".
+    ``partitions_selected`` is known at :meth:`StDataset.read` time (how
+    many partitions survived metadata pruning), while ``partitions_read``
+    counts the block files actually deserialized so far — they converge
+    once every partition has been computed.
     """
 
     partitions_total: int = 0
+    partitions_selected: int = 0
     partitions_read: int = 0
     records_loaded: int = 0
     bytes_read: int = 0
@@ -228,7 +233,10 @@ class StDataset:
             selected = meta.select_partitions(spatial, temporal)
         else:
             selected = list(meta.partitions)
-        stats = LoadStats(partitions_total=len(meta.partitions))
+        stats = LoadStats(
+            partitions_total=len(meta.partitions),
+            partitions_selected=len(selected),
+        )
         return _DiskPartitionRDD(ctx, self.directory, selected, stats), stats
 
 

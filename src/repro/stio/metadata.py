@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.geometry.envelope import Envelope
-from repro.index.boxes import STBox
+from repro.index.boxes import STBox, st_query_box
 from repro.temporal.duration import Duration
 
 METADATA_FILENAME = "metadata.json"
@@ -31,24 +31,18 @@ class PartitionMeta:
     def overlaps(self, spatial: Envelope | None, temporal: Duration | None) -> bool:
         """Does this partition possibly contain data in the query range?
 
-        ``None`` for either dimension means "unconstrained".
+        ``None`` for either dimension means "unconstrained".  The test is
+        the *same* closed-interval box intersection the Selector's
+        in-memory filter probes with (:func:`~repro.index.boxes.st_query_box`
+        against the stored 3-d MBR) — not a parallel re-implementation —
+        so pruning can never disagree with the fine-grained filter, even
+        for queries that merely touch a partition MBR edge: a touching
+        query *can* match a record sitting exactly on that edge, and must
+        keep the partition.
         """
         if self.count == 0:
             return False
-        if spatial is not None:
-            part_env = Envelope(
-                self.bounds.mins[0],
-                self.bounds.mins[1],
-                self.bounds.maxs[0],
-                self.bounds.maxs[1],
-            )
-            if not part_env.intersects_envelope(spatial):
-                return False
-        if temporal is not None:
-            part_dur = Duration(self.bounds.mins[2], self.bounds.maxs[2])
-            if not part_dur.intersects(temporal):
-                return False
-        return True
+        return self.bounds.intersects(st_query_box(spatial, temporal))
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""

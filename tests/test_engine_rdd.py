@@ -196,6 +196,32 @@ class TestWideTransformations:
         rdd = ctx.parallelize([1, 2, 2, 3, 3, 3], 3)
         assert sorted(rdd.distinct().collect()) == [1, 2, 3]
 
+    def test_distinct_unhashable_elements(self, ctx):
+        # dicts and lists have no __hash__; distinct falls back to a
+        # pickled-bytes identity instead of raising TypeError.
+        rdd = ctx.parallelize([{"a": 1}, {"a": 1}, {"b": 2}, [1, 2], [1, 2]], 3)
+        out = rdd.distinct().collect()
+        assert len(out) == 3
+        assert {"a": 1} in out and {"b": 2} in out and [1, 2] in out
+
+    def test_distinct_mixed_hashable_and_not(self, ctx):
+        rdd = ctx.parallelize([1, 1, {"x": 0}, {"x": 0}, (2, 3), (2, 3)], 2)
+        out = rdd.distinct().collect()
+        assert len(out) == 3
+
+    def test_distinct_unhashable_across_partitions(self, ctx):
+        # Duplicates that live in different partitions must still collapse,
+        # so the fallback key has to shuffle consistently.
+        rdd = ctx.parallelize([{"k": i % 2} for i in range(8)], 4)
+        assert len(rdd.distinct().collect()) == 2
+
+    def test_distinct_by_custom_key(self, ctx):
+        rdd = ctx.parallelize(["apple", "avocado", "banana", "cherry"], 2)
+        out = sorted(rdd.distinct_by(lambda s: s[0]).collect())
+        # One representative survives per first letter.
+        assert len(out) == 3
+        assert out[1] == "banana" and out[2] == "cherry"
+
     def test_group_by(self, ctx):
         rdd = ctx.parallelize(range(10), 2)
         grouped = dict(rdd.group_by(lambda x: x % 2).collect())

@@ -211,3 +211,108 @@ class TestStDataset:
         StDataset.write(tmp_path / "d", [events], "event")
         meta = DatasetMetadata.load(tmp_path / "d")
         assert meta.partitions[0].bounds == STBox((1, 1, 5), (1, 1, 5))
+
+
+class TestPruningEquivalence:
+    """Metadata pruning must agree with the in-memory filter exactly.
+
+    Both sides now share one canonical query-box construction
+    (``st_query_box``), so a query that merely *touches* a partition MBR
+    edge keeps that partition — a record sitting exactly on the edge
+    matches the closed-interval filter and would be silently dropped by
+    any stricter pruning predicate.
+    """
+
+    def _boundary_queries(self, dataset):
+        """Queries whose edges coincide exactly with stored partition MBRs."""
+        queries = []
+        for part in dataset.metadata().partitions:
+            if part.count == 0:
+                continue
+            min_x, min_y, min_t = part.bounds.mins
+            max_x, max_y, max_t = part.bounds.maxs
+            # Query ending exactly at the partition's min corner: shares
+            # only the boundary plane with the MBR.
+            queries.append(
+                (
+                    Envelope(min_x - 1.0, min_y - 1.0, min_x, min_y),
+                    Duration(max(0.0, min_t - 10.0), min_t),
+                )
+            )
+            # Query starting exactly at the max corner.
+            queries.append(
+                (
+                    Envelope(max_x, max_y, max_x + 1.0, max_y + 1.0),
+                    Duration(max_t, max_t + 10.0),
+                )
+            )
+        return queries
+
+    def test_boundary_touching_pruned_load_equals_full_scan(self, tmp_path):
+        from repro.core.selector import Selector
+
+        events = make_events(400, seed=11)
+        ctx = EngineContext(4)
+        ds = save_dataset(
+            tmp_path / "d", events, "event", partitioner=TSTRPartitioner(2, 3), ctx=ctx
+        )
+        # Place one event exactly on each partition MBR corner so a
+        # boundary-touching query has something real to find.
+        corner_events = []
+        for i, part in enumerate(ds.metadata().partitions):
+            x, y, t = part.bounds.mins
+            corner_events.append(Event.of_point(x, y, t, data=f"corner-{i}"))
+        all_events = events + corner_events
+        ds2 = save_dataset(
+            tmp_path / "d2",
+            all_events,
+            "event",
+            partitioner=TSTRPartitioner(2, 3),
+            ctx=ctx,
+        )
+
+        for spatial, temporal in self._boundary_queries(ds2):
+            selector = Selector(spatial, temporal)
+            pruned = {
+                ev.data
+                for ev in selector.select(ctx, tmp_path / "d2").collect()
+            }
+            full = {
+                ev.data
+                for ev in selector.select(
+                    ctx, tmp_path / "d2", use_metadata=False
+                ).collect()
+            }
+            assert pruned == full
+
+    def test_overlaps_matches_filter_on_edge(self):
+        """PartitionMeta.overlaps is True whenever a record could match."""
+        part = PartitionMeta("p", 3, STBox((0.0, 0.0, 0.0), (5.0, 5.0, 100.0)))
+        # Touching the max corner in every dimension: must keep.
+        assert part.overlaps(Envelope(5.0, 5.0, 9.0, 9.0), Duration(100.0, 200.0))
+        # Touching the min corner: must keep.
+        assert part.overlaps(Envelope(-2.0, -2.0, 0.0, 0.0), Duration(-5.0, 0.0))
+        # Touching spatially but disjoint temporally: prune.
+        assert not part.overlaps(Envelope(5.0, 5.0, 9.0, 9.0), Duration(100.5, 200.0))
+        # Unconstrained dimensions keep everything non-empty.
+        assert part.overlaps(None, None)
+        assert part.overlaps(Envelope(5.0, 5.0, 9.0, 9.0), None)
+        assert part.overlaps(None, Duration(100.0, 101.0))
+
+    def test_empty_partition_always_pruned(self):
+        part = PartitionMeta("p", 0, STBox((0.0, 0.0, 0.0), (5.0, 5.0, 100.0)))
+        assert not part.overlaps(None, None)
+        assert not part.overlaps(Envelope(0.0, 0.0, 5.0, 5.0), Duration(0.0, 100.0))
+
+    def test_edge_record_survives_pruned_load(self, tmp_path):
+        """A record exactly on a partition edge is found via pruned load."""
+        from repro.core.selector import Selector
+
+        ctx = EngineContext(2)
+        inside = [Event.of_point(2.0, 2.0, 50.0, data="inside")]
+        edge = [Event.of_point(5.0, 5.0, 100.0, data="edge")]
+        StDataset.write(tmp_path / "d", [inside, edge], "event")
+
+        selector = Selector(Envelope(5.0, 5.0, 9.0, 9.0), Duration(100.0, 200.0))
+        got = {ev.data for ev in selector.select(ctx, tmp_path / "d").collect()}
+        assert got == {"edge"}
