@@ -76,6 +76,50 @@ def test_micro_bruteforce_query(benchmark, boxes, queries):
     assert total > 0
 
 
+def test_micro_packed_rtree_build(benchmark, boxes):
+    pytest.importorskip("numpy")
+    from repro.columnar import packed_tree_from_boxes
+
+    benchmark(lambda: packed_tree_from_boxes([b for b, _ in boxes], capacity=16))
+
+
+def test_micro_packed_rtree_query(benchmark, boxes, queries):
+    """Array-at-a-time descent vs the pointer-chasing query above."""
+    pytest.importorskip("numpy")
+    from repro.columnar import packed_tree_from_boxes
+
+    tree = packed_tree_from_boxes([b for b, _ in boxes], capacity=16)
+
+    def run():
+        return sum(len(tree.query_rows(q)) for q in queries)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_boxtable_mask(benchmark, boxes, queries):
+    """Vectorized intersects over the same boxes, no index at all."""
+    np = pytest.importorskip("numpy")
+    from repro.columnar import PackedRTree
+
+    mins = np.array([b.mins for b, _ in boxes], dtype=np.float64)
+    maxs = np.array([b.maxs for b, _ in boxes], dtype=np.float64)
+
+    def run():
+        total = 0
+        for q in queries:
+            qmin = np.asarray(q.mins)
+            qmax = np.asarray(q.maxs)
+            mask = np.all((mins <= qmax) & (maxs >= qmin), axis=1)
+            total += int(np.count_nonzero(mask))
+        return total
+
+    total = benchmark(run)
+    # Sanity: the mask agrees with the packed tree on the same inputs.
+    tree = PackedRTree(mins, maxs, capacity=16)
+    assert total == sum(len(tree.query_rows(q)) for q in queries)
+
+
 def test_micro_grid_candidates(benchmark, queries):
     grid = GridIndex(STBox((0, 0), (100, 100)), (32, 32))
 
@@ -99,15 +143,25 @@ def test_micro_engine_reduce_by_key(benchmark):
     benchmark(lambda: rdd.reduce_by_key(lambda a, b: a + b).count())
 
 
-def test_micro_selection_indexing(benchmark, bench_events):
-    """Per-partition R-tree selection over in-memory events."""
+@pytest.mark.parametrize("columnar", [False, True], ids=["scalar", "columnar"])
+def test_micro_selection_indexing(benchmark, bench_events, columnar):
+    """Per-partition R-tree selection over in-memory events, both paths."""
+    from repro.columnar.cache import invalidate_partition_indexes
+
     ctx = fresh_ctx()
     rdd = ctx.parallelize(bench_events, 8).persist()
     rdd.count()
     spatial = Envelope(-74.0, 40.7, -73.95, 40.75)
     temporal = Duration(EPOCH_2013, EPOCH_2013 + 5 * 86_400.0)
-    selector = Selector(spatial, temporal)
-    benchmark(lambda: selector.select(ctx, rdd).count())
+    selector = Selector(spatial, temporal, use_columnar=columnar)
+
+    def run():
+        # Cold each round: the cache satellite would otherwise hide the
+        # index build this microbench exists to time.
+        invalidate_partition_indexes()
+        return selector.select(ctx, rdd).count()
+
+    benchmark(run)
 
 
 def test_micro_report(benchmark, boxes, queries):

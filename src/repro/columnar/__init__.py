@@ -1,0 +1,72 @@
+"""Columnar fast path: structure-of-arrays kernels for the pipeline hot loops.
+
+The scalar pipeline spends its time in per-object Python loops —
+``STBox.intersects`` per instance during selection, per-node calls during
+R-tree descent, per-instance partition-id assignment, per-cell loops
+during singular→collective allocation.  This package mirrors those loops
+as numpy kernels over a per-partition :class:`BoxTable` (six float64
+extent columns plus a row→instance indirection):
+
+* :meth:`BoxTable.intersects_box` — vectorized closed-interval ST-range
+  predicate (the selection filter without an index);
+* :class:`PackedRTree` — STR bulk-load packed into per-level MBR arrays,
+  queried level-at-a-time (the selection filter with an index, and the
+  irregular-structure allocation path);
+* batched partition-id assignment (``Partitioner.assign_batch``) feeding
+  ``RDD.shuffle_by_batch``;
+* an analytic row→cell range kernel for regular structures
+  (``Grid.candidate_ranges_batch``).
+
+Everything is gated on numpy being importable (:func:`available`) and on
+``use_columnar=True`` flags at the API surface; the scalar paths remain
+the semantics reference and the automatic fallback.  Exact geometry tests
+(LineString/Polygon containment, trajectory cell matching) always run
+scalar — the kernels only shrink the candidate set they run on.
+"""
+
+from __future__ import annotations
+
+from repro._deps import has_numpy
+from repro.columnar.boxtable import BoxTable, intersects_box
+from repro.columnar.cache import (
+    PartitionIndexCache,
+    invalidate_partition_indexes,
+    partition_boxtable,
+    partition_packed_tree,
+    partition_rtree,
+    selection_cache,
+)
+from repro.columnar.packed_rtree import PackedRTree, packed_tree_from_boxes
+
+
+def available() -> bool:
+    """True when the columnar kernels can run (numpy importable)."""
+    return has_numpy()
+
+
+def selection_index(partition: list, with_tree: bool, capacity: int = 32):
+    """The partition's cached columnar selection index.
+
+    Returns ``(table, tree, was_cached)``; ``tree`` is ``None`` when
+    ``with_tree`` is false (plain BoxTable scan selection).
+    """
+    if with_tree:
+        return partition_packed_tree(partition, capacity=capacity)
+    table, hit = partition_boxtable(partition)
+    return table, None, hit
+
+
+__all__ = [
+    "BoxTable",
+    "PackedRTree",
+    "PartitionIndexCache",
+    "available",
+    "intersects_box",
+    "invalidate_partition_indexes",
+    "packed_tree_from_boxes",
+    "partition_boxtable",
+    "partition_packed_tree",
+    "partition_rtree",
+    "selection_cache",
+    "selection_index",
+]

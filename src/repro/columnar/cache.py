@@ -1,0 +1,127 @@
+"""Per-partition selection-index cache, keyed on partition identity.
+
+The selector builds its per-partition index "on the fly" (Section 3.1) —
+which meant a fresh R-tree per ``select()`` call even when the same
+materialized partition is queried repeatedly in one pipeline.  This cache
+keys indexes on the partition *list object* itself:
+
+* the key is ``id(partition)`` and the entry keeps a strong reference to
+  the list, so a hit is validated with ``entry.partition is partition`` —
+  an ``id()`` reused after garbage collection can never alias a live
+  entry;
+* a repartition produces new list objects, so stale entries simply stop
+  hitting; :func:`invalidate_partition_indexes` is additionally called on
+  every repartition to release the strong references promptly (bounding
+  memory, not correctness — a stale entry is unreachable, never wrong);
+* the cache is a module-level singleton reached via in-function import
+  from stage closures.  That keeps it out of the closure's captured cells
+  (strict mode fingerprints captures before/after stages) and makes it
+  naturally worker-local on the process backend: each worker re-imports
+  the module and warms its own cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Any, Callable, Hashable
+
+
+class PartitionIndexCache:
+    """Bounded LRU of per-partition indexes with identity validation."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._lock = Lock()
+        self._entries: "OrderedDict[tuple, tuple[list, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self,
+        partition: list,
+        kind: Hashable,
+        builder: Callable[[list], Any],
+    ) -> tuple[Any, bool]:
+        """Return ``(index, was_cached)`` for one partition and index kind.
+
+        ``builder`` runs outside the lock; concurrent builders for the same
+        key may race, in which case the last store wins (both values are
+        equivalent — indexes are pure functions of the partition).
+        """
+        key = (id(partition), kind)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is partition:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1], True
+        value = builder(partition)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (partition, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every entry (and the strong partition references)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide singleton shared by scalar and columnar selection paths.
+_SELECTION_CACHE = PartitionIndexCache()
+
+
+def selection_cache() -> PartitionIndexCache:
+    """The process-wide per-partition selection-index cache."""
+    return _SELECTION_CACHE
+
+
+def invalidate_partition_indexes() -> None:
+    """Drop all cached per-partition indexes (called on repartition)."""
+    _SELECTION_CACHE.clear()
+
+
+def partition_rtree(partition: list, capacity: int = 32):
+    """The partition's scalar 3-d R-tree, cached: ``(tree, was_cached)``."""
+    from repro.index.rtree import RTree
+
+    def build(p: list):
+        return RTree.build(((inst.st_box(), inst) for inst in p), capacity=capacity)
+
+    return _SELECTION_CACHE.get_or_build(partition, ("rtree", capacity), build)
+
+
+def partition_boxtable(partition: list):
+    """The partition's BoxTable, cached: ``(table, was_cached)``."""
+    from repro.columnar.boxtable import BoxTable
+
+    return _SELECTION_CACHE.get_or_build(partition, "boxtable", BoxTable.from_instances)
+
+
+def partition_packed_tree(partition: list, capacity: int = 32):
+    """The partition's packed R-tree over its BoxTable, cached.
+
+    Returns ``(table, tree, was_cached)`` where ``was_cached`` reflects the
+    tree entry (the table may have been cached earlier by an unindexed
+    selection).
+    """
+    from repro.columnar.packed_rtree import PackedRTree
+
+    table, _ = partition_boxtable(partition)
+
+    def build(_p: list):
+        mins, maxs = table.coords()
+        return PackedRTree(mins, maxs, capacity=capacity)
+
+    tree, hit = _SELECTION_CACHE.get_or_build(partition, ("packed", capacity), build)
+    return table, tree, hit

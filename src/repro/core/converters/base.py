@@ -145,6 +145,7 @@ def allocate(
     structure: Structure,
     method: str = "auto",
     stats: AllocationStats | None = None,
+    use_columnar: bool = True,
 ) -> list[list[Instance]]:
     """Assign each instance to every structure cell it intersects.
 
@@ -152,7 +153,17 @@ def allocate(
     cell ``i``.  The candidate enumeration strategy is Section 4.2's
     knob; exact refinement runs only when required (see
     :func:`_needs_exact`).
+
+    With ``use_columnar`` (and numpy importable) candidate enumeration is
+    batched through the :mod:`repro.columnar` kernels — identical cells,
+    identical :class:`AllocationStats`, one vectorized pass instead of a
+    per-instance ``candidate_cells`` call.
     """
+    if use_columnar and instances:
+        from repro._deps import has_numpy
+
+        if has_numpy():
+            return _allocate_columnar(instances, structure, method, stats)
     cells: list[list[Instance]] = [[] for _ in range(structure.n_cells)]
     total_candidates = 0
     total_exact = 0
@@ -181,6 +192,162 @@ def allocate(
     return cells
 
 
+def _allocate_columnar(
+    instances: Sequence[Instance],
+    structure: Structure,
+    method: str,
+    stats: AllocationStats | None,
+) -> list[list[Instance]]:
+    """Batched candidate enumeration behind :func:`allocate`.
+
+    Extent extraction is one Python pass; candidates then come from the
+    grid range kernel (regular), the packed R-tree (rtree), or a
+    vectorized full scan (naive).  The per-instance allocation loop —
+    appends and, where :func:`_needs_exact` demands it, scalar geometry
+    refinement — is unchanged, so cell contents and stats match the
+    scalar path row for row.
+    """
+    import numpy as np
+
+    n = len(instances)
+    x0 = np.empty(n, dtype=np.float64)
+    y0 = np.empty(n, dtype=np.float64)
+    t0 = np.empty(n, dtype=np.float64)
+    x1 = np.empty(n, dtype=np.float64)
+    y1 = np.empty(n, dtype=np.float64)
+    t1 = np.empty(n, dtype=np.float64)
+    for i, inst in enumerate(instances):
+        x0[i], y0[i], t0[i], x1[i], y1[i], t1[i] = inst.st_bounds()
+
+    resolved = method
+    if resolved == "auto":
+        resolved = "regular" if structure.is_regular else "rtree"
+    cells: list[list[Instance]] = [[] for _ in range(structure.n_cells)]
+    total_candidates = 0
+    total_exact = 0
+    total_alloc = 0
+
+    if resolved == "regular":
+        if not structure.is_regular:
+            raise ValueError("regular method requires a regular structure")
+        qmins, qmaxs = structure._batch_grid_arrays(np, x0, y0, t0, x1, y1, t1)
+        firsts, lasts = structure._grid.candidate_ranges_batch(qmins, qmaxs)
+        shape = structure._grid.shape
+        # Candidate totals come straight off the range arrays (the
+        # candidate count of a range query is the product of its per-dim
+        # widths; an empty dim zeroes it) — the loops below never build a
+        # candidate list for the no-exact-pass fast case.
+        total_candidates = int(
+            np.clip(lasts - firsts + 1, 0, None).prod(axis=1).sum()
+        )
+        firsts = firsts.tolist()
+        lasts = lasts.tolist()
+        if len(shape) == 1:
+            for i, inst in enumerate(instances):
+                f0 = firsts[i][0]
+                l0 = lasts[i][0]
+                if f0 > l0:
+                    continue
+                if _needs_exact(inst, structure):
+                    for cell in range(f0, l0 + 1):
+                        total_exact += 1
+                        geom, dur = _cell_bounds(structure, cell)
+                        if _matches_cell(inst, geom, dur):
+                            cells[cell].append(inst)
+                            total_alloc += 1
+                elif f0 == l0:
+                    cells[f0].append(inst)
+                    total_alloc += 1
+                else:
+                    for cell in range(f0, l0 + 1):
+                        cells[cell].append(inst)
+                    total_alloc += l0 - f0 + 1
+        elif len(shape) == 2:
+            n1 = shape[1]
+            for i, inst in enumerate(instances):
+                (f0, f1), (l0, l1) = firsts[i], lasts[i]
+                if f0 > l0 or f1 > l1:
+                    continue
+                if _needs_exact(inst, structure):
+                    for a in range(f0, l0 + 1):
+                        base = a * n1
+                        for cell in range(base + f1, base + l1 + 1):
+                            total_exact += 1
+                            geom, dur = _cell_bounds(structure, cell)
+                            if _matches_cell(inst, geom, dur):
+                                cells[cell].append(inst)
+                                total_alloc += 1
+                else:
+                    for a in range(f0, l0 + 1):
+                        base = a * n1
+                        for cell in range(base + f1, base + l1 + 1):
+                            cells[cell].append(inst)
+                    total_alloc += (l0 - f0 + 1) * (l1 - f1 + 1)
+        else:
+            n1, n2 = shape[1], shape[2]
+            for i, inst in enumerate(instances):
+                (f0, f1, f2), (l0, l1, l2) = firsts[i], lasts[i]
+                if f0 > l0 or f1 > l1 or f2 > l2:
+                    continue
+                if _needs_exact(inst, structure):
+                    for a in range(f0, l0 + 1):
+                        for b in range(f1, l1 + 1):
+                            base = (a * n1 + b) * n2
+                            for cell in range(base + f2, base + l2 + 1):
+                                total_exact += 1
+                                geom, dur = _cell_bounds(structure, cell)
+                                if _matches_cell(inst, geom, dur):
+                                    cells[cell].append(inst)
+                                    total_alloc += 1
+                else:
+                    for a in range(f0, l0 + 1):
+                        for b in range(f1, l1 + 1):
+                            base = (a * n1 + b) * n2
+                            for cell in range(base + f2, base + l2 + 1):
+                                cells[cell].append(inst)
+                    total_alloc += (
+                        (l0 - f0 + 1) * (l1 - f1 + 1) * (l2 - f2 + 1)
+                    )
+        if stats is not None:
+            stats.add(n, total_candidates, total_exact, total_alloc)
+        return cells
+    if resolved == "rtree":
+        tree = structure.packed_rtree()
+        qmins, qmaxs = structure._batch_query_arrays(np, x0, y0, t0, x1, y1, t1)
+
+        def candidates_of(i: int) -> list[int]:
+            return tree.query_coords(qmins[i], qmaxs[i]).tolist()
+    elif resolved == "naive":
+        cmins, cmaxs = structure._cell_box_arrays()
+        qmins, qmaxs = structure._batch_query_arrays(np, x0, y0, t0, x1, y1, t1)
+
+        def candidates_of(i: int) -> list[int]:
+            mask = np.all((cmins <= qmaxs[i]) & (cmaxs >= qmins[i]), axis=1)
+            return np.nonzero(mask)[0].tolist()
+    else:
+        raise ValueError(f"unknown allocation method {method!r}")
+
+    naive = resolved == "naive"
+    n_cells = structure.n_cells
+    for i, inst in enumerate(instances):
+        candidates = candidates_of(i)
+        total_candidates += n_cells if naive else len(candidates)
+        if _needs_exact(inst, structure):
+            for cell in candidates:
+                total_exact += 1
+                geom, dur = _cell_bounds(structure, cell)
+                if _matches_cell(inst, geom, dur):
+                    cells[cell].append(inst)
+                    total_alloc += 1
+        else:
+            for cell in candidates:
+                cells[cell].append(inst)
+            total_alloc += len(candidates)
+    if stats is not None:
+        stats.add(n, total_candidates, total_exact, total_alloc)
+    return cells
+
+
 def _cell_bounds(structure: Structure, cell: int):
     """(geometry, duration) pair of a cell, with None for ignored dims."""
     if isinstance(structure, TimeSeriesStructure):
@@ -202,9 +369,15 @@ class ToCollectiveConverter:
     shuffle, per-partition output is one partial collective instance.
     """
 
-    def __init__(self, structure: Structure, method: str = "auto"):
+    def __init__(
+        self,
+        structure: Structure,
+        method: str = "auto",
+        use_columnar: bool = True,
+    ):
         self.structure = structure
         self.method = method
+        self.use_columnar = use_columnar
         self.stats = AllocationStats()
 
     def convert(
@@ -235,12 +408,18 @@ class ToCollectiveConverter:
             rdd = rdd.filter(_is_primary)
             if pre_map is not None:
                 rdd = rdd.map(pre_map)
+            from repro._deps import has_numpy
+
+            use_columnar = self.use_columnar and has_numpy()
             if self.method == "rtree" or (
                 self.method == "auto" and not self.structure.is_regular
             ):
                 # Build the cell index once on the "driver" and broadcast it,
                 # rather than rebuilding per executor (Section 4.2).
-                self.structure.rtree()
+                if use_columnar:
+                    self.structure.packed_rtree()
+                else:
+                    self.structure.rtree()
             broadcast = rdd.ctx.broadcast(
                 self.structure, record_count=self.structure.n_cells
             )
@@ -249,7 +428,9 @@ class ToCollectiveConverter:
 
             def fill(partition: list) -> list:
                 structure = broadcast.value
-                cell_arrays = allocate(partition, structure, method, stats)
+                cell_arrays = allocate(
+                    partition, structure, method, stats, use_columnar
+                )
                 if agg is not None:
                     values = [agg(arr) for arr in cell_arrays]
                 else:

@@ -27,13 +27,14 @@ class Event2TsConverter(ToCollectiveConverter):
         self,
         slots: Sequence[Duration] | TimeSeriesStructure,
         method: str = "auto",
+        use_columnar: bool = True,
     ):
         structure = (
             slots
             if isinstance(slots, TimeSeriesStructure)
             else TimeSeriesStructure(list(slots))
         )
-        super().__init__(structure, method)
+        super().__init__(structure, method, use_columnar)
 
 
 class Event2SmConverter(ToCollectiveConverter):
@@ -43,13 +44,14 @@ class Event2SmConverter(ToCollectiveConverter):
         self,
         geometries: Sequence[Geometry] | SpatialMapStructure,
         method: str = "auto",
+        use_columnar: bool = True,
     ):
         structure = (
             geometries
             if isinstance(geometries, SpatialMapStructure)
             else SpatialMapStructure(list(geometries))
         )
-        super().__init__(structure, method)
+        super().__init__(structure, method, use_columnar)
 
 
 class Event2RasterConverter(ToCollectiveConverter):
@@ -59,11 +61,12 @@ class Event2RasterConverter(ToCollectiveConverter):
         self,
         cells: Sequence[tuple[Geometry, Duration]] | RasterStructure,
         method: str = "auto",
+        use_columnar: bool = True,
     ):
         structure = (
             cells if isinstance(cells, RasterStructure) else RasterStructure(list(cells))
         )
-        super().__init__(structure, method)
+        super().__init__(structure, method, use_columnar)
 
 
 class Traj2TsConverter(ToCollectiveConverter):
@@ -73,13 +76,14 @@ class Traj2TsConverter(ToCollectiveConverter):
         self,
         slots: Sequence[Duration] | TimeSeriesStructure,
         method: str = "auto",
+        use_columnar: bool = True,
     ):
         structure = (
             slots
             if isinstance(slots, TimeSeriesStructure)
             else TimeSeriesStructure(list(slots))
         )
-        super().__init__(structure, method)
+        super().__init__(structure, method, use_columnar)
 
 
 class Traj2SmConverter(ToCollectiveConverter):
@@ -89,13 +93,14 @@ class Traj2SmConverter(ToCollectiveConverter):
         self,
         geometries: Sequence[Geometry] | SpatialMapStructure,
         method: str = "auto",
+        use_columnar: bool = True,
     ):
         structure = (
             geometries
             if isinstance(geometries, SpatialMapStructure)
             else SpatialMapStructure(list(geometries))
         )
-        super().__init__(structure, method)
+        super().__init__(structure, method, use_columnar)
 
 
 class Traj2RasterConverter(ToCollectiveConverter):
@@ -105,8 +110,9 @@ class Traj2RasterConverter(ToCollectiveConverter):
         self,
         cells: Sequence[tuple[Geometry, Duration]] | RasterStructure,
         method: str = "auto",
+        use_columnar: bool = True,
     ):
         structure = (
             cells if isinstance(cells, RasterStructure) else RasterStructure(list(cells))
         )
-        super().__init__(structure, method)
+        super().__init__(structure, method, use_columnar)

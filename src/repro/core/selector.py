@@ -21,12 +21,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro._deps import has_numpy as _columnar_available
 from repro.engine.accumulators import Accumulator, counter
 from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.geometry.envelope import Envelope
 from repro.index.boxes import STBox, st_query_box
-from repro.index.rtree import RTree
 from repro.instances.base import Instance
 from repro.obs.tracer import phase as _phase_span
 from repro.stio.dataset import LoadStats, StDataset
@@ -57,6 +57,12 @@ class Selector:
         Use per-partition R-tree filtering (on by default; ``False``
         degrades to a linear scan — the toggle in the paper's Selector
         constructor).
+    use_columnar:
+        Run the filter through the vectorized :mod:`repro.columnar`
+        kernels (BoxTable scan, or packed R-tree when ``index``).  Exact
+        geometry tests still run scalar, but only on the vectorized
+        candidate set.  Automatically falls back to the scalar path when
+        numpy is unavailable.
     backend:
         Run the selection on a dedicated execution backend
         (``"sequential"`` | ``"thread"`` | ``"process"``).  Selection is
@@ -76,6 +82,7 @@ class Selector:
         index: bool = True,
         duplicate: bool = False,
         backend: str | None = None,
+        use_columnar: bool = True,
     ):
         if spatial is None and temporal is None:
             raise ValueError("a selector needs a spatial and/or temporal range")
@@ -86,6 +93,7 @@ class Selector:
         self.index = index
         self.duplicate = duplicate
         self.backend = backend
+        self.use_columnar = use_columnar
         #: I/O statistics of the last ``select`` from disk (Figure 5 data).
         self.last_load_stats: LoadStats | None = None
         #: R-tree probe work of the last ``select``: node + entry tests
@@ -94,6 +102,10 @@ class Selector:
         #: additions cannot reach this driver-side cell, so the total is a
         #: lower bound there (exact on sequential/thread backends).
         self.rtree_probes: Accumulator[int] = counter("rtree_probes")
+        #: Per-partition selection-index cache traffic of the last
+        #: ``select`` (same process-backend caveat as ``rtree_probes``).
+        self.index_cache_hits: Accumulator[int] = counter("selection_index_hits")
+        self.index_cache_misses: Accumulator[int] = counter("selection_index_misses")
 
     # -- loading -------------------------------------------------------------------
 
@@ -126,6 +138,9 @@ class Selector:
         box = self._query_box()
         use_index = self.index
         probes = self.rtree_probes
+        cache_hits = self.index_cache_hits
+        cache_misses = self.index_cache_misses
+        columnar = self.use_columnar and _columnar_available()
 
         def exact(inst: Instance) -> bool:
             s = spatial if spatial is not None else inst.spatial_extent
@@ -135,14 +150,52 @@ class Selector:
         def filter_partition(partition: list) -> list:
             if not partition:
                 return []
-            if use_index:
-                # Per-partition 3-d R-tree built on the fly (Section 3.1):
-                # prune by instance MBR, then apply the exact predicate.
-                tree = RTree.build(
-                    ((inst.st_box(), inst) for inst in partition), capacity=32
+            # The per-partition index cache lives in its own module and is
+            # reached by import so it stays out of the closure's captures
+            # (worker-local on the process backend; invalidated by the
+            # driver on repartition).
+            if columnar:
+                from repro.columnar import selection_index
+
+                table, tree, was_cached = selection_index(
+                    partition, with_tree=use_index, capacity=32
                 )
+                (cache_hits if was_cached else cache_misses).add(1)
+                if use_index:
+                    # Cached trees accumulate stats across queries, so the
+                    # probe counter gets this query's delta, not the total.
+                    before = tree.stats.node_tests + tree.stats.entry_tests
+                    rows = tree.query_rows(box)
+                    probes.add(tree.stats.node_tests + tree.stats.entry_tests - before)
+                else:
+                    rows = table.candidate_rows(box)
+                # Scalar refinement only on the vectorized candidate set —
+                # and skipped entirely where the MBR *is* the shape.
+                box_exact = table.box_exact
+                instances = table.rows
+                out = []
+                for r in rows.tolist():
+                    inst = instances[r]
+                    if box_exact[r] or exact(inst):
+                        out.append(inst)
+                return out
+            if use_index:
+                # Per-partition 3-d R-tree built on the fly (Section 3.1),
+                # cached on partition identity: prune by instance MBR, then
+                # apply the exact predicate.
+                from repro.columnar.cache import partition_rtree
+
+                tree, was_cached = partition_rtree(partition, capacity=32)
+                (cache_hits if was_cached else cache_misses).add(1)
+                before = tree.stats.node_tests + tree.stats.entry_tests
                 candidates = tree.query(box)
-                probes.add(tree.stats.node_tests + tree.stats.entry_tests)
+                probes.add(tree.stats.node_tests + tree.stats.entry_tests - before)
+                # Tree traversal order depends on tree shape; restore the
+                # partition's own order so selection output is identical
+                # across index on/off and scalar/columnar paths (downstream
+                # sampling — e.g. partitioner fitting — is order-sensitive).
+                positions = {id(inst): i for i, inst in enumerate(partition)}
+                candidates.sort(key=lambda inst: positions[id(inst)])
             else:
                 candidates = partition
             return [inst for inst in candidates if exact(inst)]
@@ -170,17 +223,26 @@ class Selector:
         """
         with _phase_span("Selection", ctx.tracer) as span:
             self.rtree_probes.reset()
+            self.index_cache_hits.reset()
+            self.index_cache_misses.reset()
             loaded = self._load(ctx, source, use_metadata)
             selected = self._filter(loaded)
             if self.partitioner is not None:
                 selected = self.partitioner.partition(
-                    selected, duplicate=self.duplicate
+                    selected,
+                    duplicate=self.duplicate,
+                    use_columnar=self.use_columnar,
                 )
             elif (
                 self.num_partitions is not None
                 and self.num_partitions != selected.num_partitions
             ):
                 selected = selected.repartition(self.num_partitions)
+                # Repartitioning produces new partition lists; drop the
+                # per-partition selection indexes keyed on the old ones.
+                from repro.columnar.cache import invalidate_partition_indexes
+
+                invalidate_partition_indexes()
             if self.backend is not None:
                 # Dedicated-backend selection is eager: the override is
                 # scoped to this call, so the scan must run now, not at a
@@ -205,6 +267,12 @@ class Selector:
         probes = self.rtree_probes.value
         tracer.counter("rtree_probes", probes)
         span.args["rtree_probes"] = probes
+        hits = self.index_cache_hits.value
+        misses = self.index_cache_misses.value
+        tracer.counter("selection_index_hits", hits)
+        tracer.counter("selection_index_misses", misses)
+        span.args["selection_index_hits"] = hits
+        span.args["selection_index_misses"] = misses
         stats = self.last_load_stats if from_disk else None
         if stats is not None:
             pruned = stats.partitions_total - stats.partitions_selected

@@ -37,6 +37,11 @@ class Structure(ABC):
 
     def __init__(self) -> None:
         self._rtree: RTree | None = None
+        # Columnar mirrors, built lazily: cell min/max coordinate arrays
+        # and a packed R-tree over them (both picklable, so a structure
+        # broadcast after prebuilding ships them to every executor).
+        self._packed = None
+        self._cell_arrays = None
 
     @property
     @abstractmethod
@@ -73,6 +78,46 @@ class Structure(ABC):
                 ((self.cell_box(i), i) for i in range(self.n_cells))
             )
         return self._rtree
+
+    def _cell_box_arrays(self):
+        """Lazily built ``(mins, maxs)`` arrays of every cell box, id order."""
+        if self._cell_arrays is None:
+            from repro._deps import require_numpy
+
+            np = require_numpy("Structure._cell_box_arrays")
+            boxes = [self.cell_box(i) for i in range(self.n_cells)]
+            self._cell_arrays = (
+                np.array([b.mins for b in boxes], dtype=np.float64),
+                np.array([b.maxs for b in boxes], dtype=np.float64),
+            )
+        return self._cell_arrays
+
+    def packed_rtree(self):
+        """Lazily built packed (columnar) R-tree over the structure cells.
+
+        The columnar counterpart of :meth:`rtree`: same cells, same
+        candidate sets, but queried with array kernels and returning cell
+        ids directly (rows coincide with cell ids by construction).
+        """
+        if self._packed is None:
+            from repro.columnar.packed_rtree import PackedRTree
+
+            self._packed = PackedRTree(*self._cell_box_arrays())
+        return self._packed
+
+    def _batch_query_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        """Per-instance query boxes as (mins, maxs) arrays, cell-box order.
+
+        The vectorized counterpart of :meth:`query_box` over extent columns
+        (projects onto this structure's dimensions, in the order
+        :meth:`cell_box` uses).
+        """
+        raise NotImplementedError
+
+    def _batch_grid_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        """Like :meth:`_batch_query_arrays` but in ``_grid`` dimension order
+        (the regular structures swap x/y; see their ``regular()`` docs)."""
+        raise NotImplementedError
 
     def candidate_cells(
         self,
@@ -156,6 +201,12 @@ class TimeSeriesStructure(Structure):
     def _regular_candidates(self, box: STBox) -> list[int]:
         return self._grid.candidate_cells(box)
 
+    def _batch_query_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        return t0.reshape(-1, 1), t1.reshape(-1, 1)
+
+    def _batch_grid_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        return t0.reshape(-1, 1), t1.reshape(-1, 1)
+
     def empty_instance(self, value_factory: Callable[[], list] = list) -> TimeSeries:
         """An empty collective instance over these cells."""
         return TimeSeries.of_slots(self.slots, value_factory)
@@ -205,6 +256,13 @@ class SpatialMapStructure(Structure):
         # Swap (x, y) -> (y, x) to match the grid's dimension order.
         swapped = STBox((box.mins[1], box.mins[0]), (box.maxs[1], box.maxs[0]))
         return self._grid.candidate_cells(swapped)
+
+    def _batch_query_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        return np.stack((x0, y0), axis=1), np.stack((x1, y1), axis=1)
+
+    def _batch_grid_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        # Same (y, x) swap as _regular_candidates.
+        return np.stack((y0, x0), axis=1), np.stack((y1, x1), axis=1)
 
     def exact_cells(
         self, geometry: Geometry, candidates: Sequence[int]
@@ -316,6 +374,13 @@ class RasterStructure(Structure):
             (box.maxs[1], box.maxs[0], box.maxs[2]),
         )
         return self._grid.candidate_cells(swapped)
+
+    def _batch_query_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        return np.stack((x0, y0, t0), axis=1), np.stack((x1, y1, t1), axis=1)
+
+    def _batch_grid_arrays(self, np, x0, y0, t0, x1, y1, t1):
+        # Same (y, x, t) swap as _regular_candidates.
+        return np.stack((y0, x0, t0), axis=1), np.stack((y1, x1, t1), axis=1)
 
     def exact_cells(
         self, geometry: Geometry, duration: Duration, candidates: Sequence[int]

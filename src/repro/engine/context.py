@@ -218,11 +218,22 @@ class EngineContext:
             tracer.counter("broadcast_records", record_count)
             # Payload size is metered only under tracing: serializing the
             # value is exactly the cost the untraced hot path avoids.
+            # Protocol 5 with out-of-band buffers splits the measurement:
+            # ``broadcast_bytes`` stays the total (comparable with older
+            # traces), ``broadcast_oob_bytes`` is the share that large
+            # ndarray payloads (BoxTables, packed trees, grids) keep out
+            # of the in-band pickle stream.
             try:
-                tracer.counter(
-                    "broadcast_bytes",
-                    len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)),
+                oob: list[int] = []
+                payload = pickle.dumps(
+                    value,
+                    protocol=5,
+                    buffer_callback=lambda buf: oob.append(buf.raw().nbytes),
                 )
+                oob_bytes = sum(oob)
+                tracer.counter("broadcast_bytes", len(payload) + oob_bytes)
+                if oob_bytes:
+                    tracer.counter("broadcast_oob_bytes", oob_bytes)
             except Exception:  # unpicklable broadcasts still broadcast fine
                 pass
         broadcast = Broadcast(value)

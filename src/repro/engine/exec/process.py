@@ -62,10 +62,24 @@ _WORKER_STAGE_CACHE: dict[int, tuple] = {}
 _WORKER_STAGE_CACHE_LIMIT = 8
 
 
-def _serialize_stage(spec: StageSpec) -> bytes:
+def _serialize_stage(spec: StageSpec) -> tuple[bytes, list[bytes]]:
+    """Pickle the stage closure: ``(payload, out-of-band buffers)``.
+
+    Protocol 5 with a ``buffer_callback`` keeps large contiguous blobs
+    (BoxTable/packed-tree ndarrays captured by columnar stages) out of the
+    in-band pickle stream: the stream holds a reference and the raw bytes
+    ship alongside, skipping the frame-copy on both ends.  The split is
+    also what the driver meters as ``stage_oob_bytes``.
+    """
     dumps = _closure_pickle.dumps if _closure_pickle is not None else pickle.dumps
+    buffers: list[bytes] = []
     try:
-        return dumps((spec.task, spec.failure_injector))
+        payload = dumps(
+            (spec.task, spec.failure_injector),
+            protocol=5,
+            buffer_callback=lambda buf: buffers.append(buf.raw().tobytes()),
+        )
+        return payload, buffers
     except Exception as exc:
         serializer = "cloudpickle" if _closure_pickle is not None else "pickle"
         hint = (
@@ -80,10 +94,12 @@ def _serialize_stage(spec: StageSpec) -> bytes:
         ) from exc
 
 
-def _load_stage(token: int, payload: bytes) -> tuple:
+def _load_stage(token: int, payload: bytes, buffers: list[bytes]) -> tuple:
     cached = _WORKER_STAGE_CACHE.get(token)
     if cached is None:
-        cached = pickle.loads(payload)  # cloudpickle output loads via stdlib pickle
+        # cloudpickle output loads via stdlib pickle; out-of-band buffers
+        # are rejoined positionally (pickle 5's buffer protocol).
+        cached = pickle.loads(payload, buffers=buffers)
         if len(_WORKER_STAGE_CACHE) >= _WORKER_STAGE_CACHE_LIMIT:
             _WORKER_STAGE_CACHE.pop(next(iter(_WORKER_STAGE_CACHE)))
         _WORKER_STAGE_CACHE[token] = cached
@@ -100,14 +116,20 @@ def _noop() -> int:
     return os.getpid()
 
 
-def _run_chunk(token: int, payload: bytes, partitions: list[int], max_task_retries: int) -> list[TaskOutcome]:
+def _run_chunk(
+    token: int,
+    payload: bytes,
+    buffers: list[bytes],
+    partitions: list[int],
+    max_task_retries: int,
+) -> list[TaskOutcome]:
     """Worker entry point: run a batch of tasks, return their outcomes.
 
     A permanent in-worker failure raises :class:`TaskFailure`, which
     travels back through the pool's result pickling (it defines
     ``__reduce__``; an unpicklable cause is downgraded to its repr).
     """
-    task, injector = _load_stage(token, payload)
+    task, injector = _load_stage(token, payload, buffers)
     worker = f"pid-{os.getpid()}"
     outcomes = []
     for partition in partitions:
@@ -239,7 +261,14 @@ class ProcessBackend(Backend):
         from repro.engine.costmodel import suggest_task_chunks
 
         started_wall = time.time()
-        payload = _serialize_stage(spec)
+        payload, buffers = _serialize_stage(spec)
+        oob_bytes = sum(len(b) for b in buffers)
+        if oob_bytes:
+            from repro.obs.tracer import current_tracer
+
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.counter("stage_oob_bytes", oob_bytes)
         token = next(_stage_tokens)
         pool = self._ensure_pool()
 
@@ -252,10 +281,12 @@ class ProcessBackend(Backend):
         ]
         pending: dict[Future, _ChunkState] = {}
         for chunk in chunks:
-            self._dispatch(pool, token, payload, spec, chunk, pending, speculative=False)
+            self._dispatch(
+                pool, token, payload, buffers, spec, chunk, pending, speculative=False
+            )
 
         try:
-            result = self._gather(pool, token, payload, spec, chunks, pending)
+            result = self._gather(pool, token, payload, buffers, spec, chunks, pending)
             result.started_wall = started_wall
             result.ended_wall = time.time()
             return result
@@ -271,13 +302,16 @@ class ProcessBackend(Backend):
         pool: ProcessPoolExecutor,
         token: int,
         payload: bytes,
+        buffers: list[bytes],
         spec: StageSpec,
         chunk: _ChunkState,
         pending: dict[Future, _ChunkState],
         *,
         speculative: bool,
     ) -> None:
-        future = pool.submit(_run_chunk, token, payload, chunk.partitions, spec.max_task_retries)
+        future = pool.submit(
+            _run_chunk, token, payload, buffers, chunk.partitions, spec.max_task_retries
+        )
         chunk.futures[future] = speculative
         chunk.last_submitted = time.monotonic()
         pending[future] = chunk
@@ -287,6 +321,7 @@ class ProcessBackend(Backend):
         pool: ProcessPoolExecutor,
         token: int,
         payload: bytes,
+        buffers: list[bytes],
         spec: StageSpec,
         chunks: list[_ChunkState],
         pending: dict[Future, _ChunkState],
@@ -335,8 +370,8 @@ class ProcessBackend(Backend):
                     outcomes[outcome.partition] = outcome
 
             self._handle_stragglers(
-                pool, token, payload, spec, chunks, pending, finished_elapsed, result,
-                speculative_budget,
+                pool, token, payload, buffers, spec, chunks, pending,
+                finished_elapsed, result, speculative_budget,
             )
 
         result.outcomes = [outcomes[p] for p in sorted(outcomes)]
@@ -347,6 +382,7 @@ class ProcessBackend(Backend):
         pool: ProcessPoolExecutor,
         token: int,
         payload: bytes,
+        buffers: list[bytes],
         spec: StageSpec,
         chunks: list[_ChunkState],
         pending: dict[Future, _ChunkState],
@@ -371,7 +407,9 @@ class ProcessBackend(Backend):
                         elapsed_seconds=(chunk.resubmits + 1) * self.task_timeout,
                     )
                 chunk.resubmits += 1
-                self._dispatch(pool, token, payload, spec, chunk, pending, speculative=False)
+                self._dispatch(
+                    pool, token, payload, buffers, spec, chunk, pending, speculative=False
+                )
 
         # Speculation: after a quorum finishes, clone the slowest stragglers.
         launched = result.speculative_launched
@@ -396,7 +434,9 @@ class ProcessBackend(Backend):
             if launched >= speculative_budget:
                 break
             chunk.speculated = True
-            self._dispatch(pool, token, payload, spec, chunk, pending, speculative=True)
+            self._dispatch(
+                pool, token, payload, buffers, spec, chunk, pending, speculative=True
+            )
             launched += 1
         result.speculative_launched = launched
 

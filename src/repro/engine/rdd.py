@@ -24,7 +24,7 @@ import random
 from bisect import bisect_right
 from collections import defaultdict
 from threading import Lock
-from typing import Any, Callable, Generic, Iterable, TypeVar
+from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
 from repro.engine.context import EngineContext
 from repro.engine.shuffle import hash_partition
@@ -306,6 +306,34 @@ class RDD(Generic[T]):
 
         return _ShuffledRDD(
             self.flat_map(expand),
+            num_partitions,
+            key_of=lambda kv: kv[0],
+            direct_key=True,
+            values_only=True,
+        )
+
+    def shuffle_by_batch(
+        self,
+        num_partitions: int,
+        assign_batch: Callable[[list], Sequence[int]],
+    ) -> "RDD[T]":
+        """Like :meth:`shuffle_by`, but assignment runs once per partition.
+
+        ``assign_batch(items)`` returns one target partition id per item —
+        the hook the columnar partitioners use to vectorize routing.  Ids
+        are coerced with ``int()`` so numpy integer scalars route exactly
+        like Python ints.
+        """
+        def expand(split: int, items: list) -> list[tuple[int, T]]:
+            if not items:
+                return []
+            return [
+                (int(pid) % num_partitions, x)
+                for pid, x in zip(assign_batch(items), items)
+            ]
+
+        return _ShuffledRDD(
+            self.map_partitions_with_index(expand),
             num_partitions,
             key_of=lambda kv: kv[0],
             direct_key=True,

@@ -124,6 +124,53 @@ class GridIndex:
         ]
         return [self.flatten(idx) for idx in product(*ranges)]
 
+    def candidate_ranges_batch(self, mins, maxs):
+        """Vectorized :meth:`_dim_range` over ``(n, ndim)`` query arrays.
+
+        Returns ``(firsts, lasts)`` int64 arrays of shape ``(n, ndim)``:
+        per row and dimension, the inclusive index range of cells the query
+        box may intersect.  An empty result (non-intersecting query, or an
+        inverted per-dimension range) is signaled by ``first > last`` in at
+        least one dimension — callers must check before enumerating.
+
+        The arithmetic replicates :meth:`_dim_range` exactly in float64 —
+        same floor, same boundary-touch decrement, same clamps — so
+        enumerating ``product(range(f, l+1)...)`` yields the identical cell
+        list to :meth:`candidate_cells`.
+        """
+        from repro._deps import require_numpy
+
+        np = require_numpy("GridIndex.candidate_ranges_batch")
+        mins = np.asarray(mins, dtype=np.float64)
+        maxs = np.asarray(maxs, dtype=np.float64)
+        ndim = self.extent.ndim
+        if mins.ndim != 2 or mins.shape[1] != ndim or mins.shape != maxs.shape:
+            raise ValueError("query arrays must be matching (n, ndim) arrays")
+        n_rows = mins.shape[0]
+        firsts = np.empty((n_rows, ndim), dtype=np.int64)
+        lasts = np.empty((n_rows, ndim), dtype=np.int64)
+        # candidate_cells() returns [] for queries missing the extent before
+        # running _dim_range at all; mirror that with a mask applied last.
+        alive = np.ones(n_rows, dtype=bool)
+        for d in range(ndim):
+            lo = self.extent.mins[d]
+            hi = self.extent.maxs[d]
+            step = self._steps[d]
+            n = self.shape[d]
+            alive &= (mins[:, d] <= hi) & (maxs[:, d] >= lo)
+            dmin = (mins[:, d] - lo) / step
+            first = np.floor(dmin)
+            first -= (mins[:, d] > lo) & (dmin == first)
+            last = np.floor((maxs[:, d] - lo) / step)
+            # Clamp in float64 before the int cast: query coordinates reach
+            # the +-1e18 unbounded-query sentinels, which overflow int64
+            # after division by small steps.
+            firsts[:, d] = np.clip(first, 0.0, float(n)).astype(np.int64)
+            lasts[:, d] = np.clip(last, -1.0, float(n - 1)).astype(np.int64)
+        firsts[~alive, 0] = 1
+        lasts[~alive, 0] = 0
+        return firsts, lasts
+
     def cell_of_point(self, coords: Sequence[float]) -> int | None:
         """The single cell containing a point, or ``None`` when outside.
 

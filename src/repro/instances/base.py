@@ -13,11 +13,13 @@ point-shaped and time-ordered).
 from __future__ import annotations
 
 import hashlib
+import math
 import pickle
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.geometry.base import Geometry
 from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
 from repro.index.boxes import STBox
 from repro.temporal.duration import Duration
 
@@ -104,6 +106,46 @@ class Instance:
     def temporal_extent(self) -> Duration:
         """Smallest duration covering all entry durations."""
         return Duration.merge_all(e.temporal for e in self.entries)
+
+    def st_bounds(self) -> tuple[float, float, float, float, float, float]:
+        """``(xmin, ymin, tmin, xmax, ymax, tmax)`` as plain floats.
+
+        Exactly the values of ``spatial_extent``/``temporal_extent``, but
+        without materializing an Envelope + Duration per call — the
+        columnar extraction loops run this once per instance, where those
+        allocations would dominate the whole vectorized pass.
+        """
+        xmin = ymin = tmin = math.inf
+        xmax = ymax = tmax = -math.inf
+        for e in self.entries:
+            g = e.spatial
+            if type(g) is Point:
+                x = g.x
+                y = g.y
+                if x < xmin:
+                    xmin = x
+                if x > xmax:
+                    xmax = x
+                if y < ymin:
+                    ymin = y
+                if y > ymax:
+                    ymax = y
+            else:
+                env = g.envelope
+                if env.min_x < xmin:
+                    xmin = env.min_x
+                if env.max_x > xmax:
+                    xmax = env.max_x
+                if env.min_y < ymin:
+                    ymin = env.min_y
+                if env.max_y > ymax:
+                    ymax = env.max_y
+            t = e.temporal
+            if t.start < tmin:
+                tmin = t.start
+            if t.end > tmax:
+                tmax = t.end
+        return xmin, ymin, tmin, xmax, ymax, tmax
 
     def st_box(self) -> STBox:
         """The (x, y, t) bounding box."""

@@ -11,7 +11,9 @@ rhythmic synthetic traffic).
 
 from __future__ import annotations
 
-import numpy as np
+from repro._deps import require_numpy
+
+np = require_numpy("repro.ml.forecast")
 
 
 class RidgeForecaster:

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
+from repro._deps import require_numpy
+
+np = require_numpy("repro.ml.tensors")
 
 from repro.instances.raster import Raster
 from repro.instances.spatialmap import SpatialMap

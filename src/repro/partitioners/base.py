@@ -31,6 +31,22 @@ def _fan_out(instance: Instance, assign, assign_all) -> list[tuple[int, Instance
     ]
 
 
+def _fan_out_batch(
+    partition: list, assign_batch, assign_all
+) -> list[tuple[int, Instance]]:
+    """Batched duplicate-mode routing for one partition.
+
+    Primaries come from one ``assign_batch`` call; the per-instance
+    ``assign_all`` fan-out stays scalar (boundary overlap enumeration),
+    producing exactly the pairs ``_fan_out`` would instance by instance.
+    """
+    routed: list[tuple[int, Instance]] = []
+    for inst, primary in zip(partition, assign_batch(partition)):
+        for pid in assign_all(inst):
+            routed.append((pid, inst if pid == primary else inst.replica()))
+    return routed
+
+
 def _routed_pid(pair: tuple[int, Instance]) -> int:
     return pair[0]
 
@@ -110,6 +126,16 @@ class STPartitioner(ABC):
         hits.add(primary)
         return sorted(hits)
 
+    def assign_batch(self, instances: Sequence[Instance]) -> list[int]:
+        """Partition ids for many instances at once.
+
+        Contract: elementwise identical to :meth:`assign` —
+        ``assign_batch(xs) == [assign(x) for x in xs]`` for every input.
+        Subclasses override with vectorized kernels; this default is the
+        scalar loop, so overriding is purely a performance choice.
+        """
+        return [self.assign(inst) for inst in instances]
+
     @abstractmethod
     def boundaries(self) -> list[STBox]:
         """One 3-d (x, y, t) box per partition, jointly covering all space."""
@@ -122,14 +148,20 @@ class STPartitioner(ABC):
         sample_fraction: float = 0.1,
         duplicate: bool = False,
         seed: int = 17,
+        use_columnar: bool = True,
     ) -> "RDD[Instance]":
         """Fit on a sample of ``rdd`` and shuffle it into balanced partitions.
 
         The sampling-then-assigning flow follows Section 3.1: boundaries are
         computed from a fraction of the data ("takes much shorter time and
         only induces minor degradation in load balance"), then every record
-        is routed in parallel.
+        is routed in parallel.  With ``use_columnar`` (and numpy available)
+        routing uses :meth:`assign_batch` — one vectorized call per
+        partition instead of one ``assign`` call per instance.
         """
+        from repro._deps import has_numpy
+        from repro.columnar.cache import invalidate_partition_indexes
+
         sample = [x for p in rdd.sample(sample_fraction, seed)._collect_partitions() for x in p]
         if not sample:
             sample = rdd.take(1000)
@@ -138,7 +170,13 @@ class STPartitioner(ABC):
             from repro.engine.sanitizer import validate_partitioner
 
             validate_partitioner(self, sample)
+        # The shuffle replaces every partition list; cached per-partition
+        # selection indexes keyed on the old lists are released eagerly.
+        invalidate_partition_indexes()
+        columnar = use_columnar and has_numpy()
         if not duplicate:
+            if columnar:
+                return rdd.shuffle_by_batch(self.num_partitions, self.assign_batch)
             return rdd.shuffle_by(self.num_partitions, self.assign)
         # Duplicate mode (Algorithm 1's ``duplicate`` flag): the copy that
         # lands in ``assign(inst)``'s partition stays the primary; copies
@@ -148,9 +186,15 @@ class STPartitioner(ABC):
         # intervals of Duration/Envelope intersection mean an instance
         # sitting exactly on a cell boundary always fans out — without the
         # tag it would be double-counted downstream.
-        assign = self.assign
         assign_all = self.assign_all
-        routed = rdd.flat_map(lambda inst: _fan_out(inst, assign, assign_all))
+        if columnar:
+            assign_batch = self.assign_batch
+            routed = rdd.map_partitions(
+                lambda part: _fan_out_batch(part, assign_batch, assign_all)
+            )
+        else:
+            assign = self.assign
+            routed = rdd.flat_map(lambda inst: _fan_out(inst, assign, assign_all))
         return routed.shuffle_by(self.num_partitions, _routed_pid).map(_routed_instance)
 
     def partition_with_info(
@@ -159,8 +203,9 @@ class STPartitioner(ABC):
         sample_fraction: float = 0.1,
         duplicate: bool = False,
         seed: int = 17,
+        use_columnar: bool = True,
     ) -> tuple["RDD[Instance]", list[STBox]]:
         """Like :meth:`partition` but also return the partition boundaries —
         the ``stPartitionWithInfo`` of Section 4.1's code example."""
-        partitioned = self.partition(rdd, sample_fraction, duplicate, seed)
+        partitioned = self.partition(rdd, sample_fraction, duplicate, seed, use_columnar)
         return partitioned, self.boundaries()

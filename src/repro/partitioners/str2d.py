@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro._deps import has_numpy
 from repro.index.boxes import STBox
 from repro.instances.base import Instance
 from repro.partitioners.base import STPartitioner, UNBOUNDED
@@ -47,6 +48,21 @@ class STRPartitioner(STPartitioner):
         self._require_fitted()
         center = instance.spatial_extent.centroid()
         return self._tiling.cell_of(center.x, center.y)
+
+    def assign_batch(self, instances: Sequence[Instance]) -> list[int]:
+        """Vectorized :meth:`assign` (see STPartitioner for the contract)."""
+        self._require_fitted()
+        if not has_numpy() or not instances:
+            return super().assign_batch(instances)
+        import numpy as np
+
+        xs = np.empty(len(instances), dtype=np.float64)
+        ys = np.empty(len(instances), dtype=np.float64)
+        for i, inst in enumerate(instances):
+            bx0, by0, _bt0, bx1, by1, _bt1 = inst.st_bounds()
+            xs[i] = (bx0 + bx1) / 2.0
+            ys[i] = (by0 + by1) / 2.0
+        return self._tiling.cells_of_batch(xs, ys).tolist()
 
     def assign_all(self, instance: Instance) -> list[int]:
         """All partitions overlapping the instance MBR (see STPartitioner)."""

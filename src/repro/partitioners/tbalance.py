@@ -7,9 +7,11 @@ from typing import Sequence
 from repro.index.boxes import STBox
 from repro.instances.base import Instance
 from repro.partitioners.base import STPartitioner, UNBOUNDED
+from repro._deps import has_numpy
 from repro.partitioners.tiling import (
     bucket_interval,
     bucket_of,
+    bucket_of_batch,
     buckets_overlapping,
     equal_count_cuts,
 )
@@ -49,6 +51,16 @@ class TBalancePartitioner(STPartitioner):
         """Partition id for an instance (see STPartitioner)."""
         self._require_fitted()
         return bucket_of(self._cuts, instance.temporal_extent.center)
+
+    def assign_batch(self, instances: Sequence[Instance]) -> list[int]:
+        """Vectorized :meth:`assign` (see STPartitioner for the contract)."""
+        self._require_fitted()
+        if not has_numpy() or not instances:
+            return super().assign_batch(instances)
+        centers = [
+            (b[2] + b[5]) / 2.0 for b in (inst.st_bounds() for inst in instances)
+        ]
+        return bucket_of_batch(self._cuts, centers).tolist()
 
     def assign_all(self, instance: Instance) -> list[int]:
         """All partitions overlapping the instance MBR (see STPartitioner)."""

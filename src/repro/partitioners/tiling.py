@@ -33,6 +33,24 @@ def bucket_of(cuts: Sequence[float], value: float) -> int:
     return bisect_right(cuts, value)
 
 
+def bucket_of_batch(cuts: Sequence[float], values):
+    """Vectorized :func:`bucket_of` over a float array of values.
+
+    ``np.searchsorted(cuts, v, side="right")`` computes exactly
+    ``bisect_right(cuts, v)`` per element, so batch and scalar assignment
+    agree on every input, cut-sitting values included.
+    """
+    from repro._deps import require_numpy
+
+    np = require_numpy("bucket_of_batch")
+    values = np.asarray(values, dtype=np.float64)
+    if not cuts:
+        return np.zeros(len(values), dtype=np.int64)
+    return np.searchsorted(
+        np.asarray(cuts, dtype=np.float64), values, side="right"
+    ).astype(np.int64)
+
+
 def buckets_overlapping(cuts: Sequence[float], lo: float, hi: float) -> range:
     """Indices of all buckets overlapped by the closed interval [lo, hi]."""
     first = bisect_right(cuts, lo)
@@ -97,6 +115,29 @@ class Str2D:
         slab = bucket_of(self.x_cuts, x)
         row = bucket_of(self.y_cuts_per_slab[slab], y)
         return self._offsets[slab] + row
+
+    def cells_of_batch(self, xs, ys):
+        """Vectorized :meth:`cell_of` over coordinate arrays.
+
+        One searchsorted over the x cuts picks each point's slab, then one
+        searchsorted per *distinct occupied slab* places the points within
+        it — the ragged ``y_cuts_per_slab`` lists prevent a single 2-d
+        searchsorted, but the slab count is ~sqrt(num_partitions), so the
+        Python loop is over slabs, never points.
+        """
+        from repro._deps import require_numpy
+
+        np = require_numpy("Str2D.cells_of_batch")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        slabs = bucket_of_batch(self.x_cuts, xs)
+        cells = np.empty(len(xs), dtype=np.int64)
+        offsets = np.asarray(self._offsets, dtype=np.int64)
+        for slab in np.unique(slabs):
+            mask = slabs == slab
+            rows = bucket_of_batch(self.y_cuts_per_slab[slab], ys[mask])
+            cells[mask] = offsets[slab] + rows
+        return cells
 
     def cells_overlapping(self, env: Envelope) -> list[int]:
         """All cell indices overlapped by the envelope."""
