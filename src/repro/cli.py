@@ -14,7 +14,12 @@ surface a data engineer needs without writing code:
 * ``lint``     — static distributed-correctness checks on stage closures
   (see :mod:`repro.analysis`);
 * ``trace``    — run a pipeline script under the tracer and export its
-  span tree (Chrome trace JSON / text summary / JSONL).
+  span tree (Chrome trace JSON / text summary / JSONL);
+* ``chaos``    — run a pipeline script under a seeded
+  :class:`~repro.engine.faults.FaultPlan` (injected task errors, worker
+  kills, straggler delays, corrupt reads) and report what fired and what
+  recovered; ``--parity`` asserts the faulted run's output matches a
+  fault-free run.
 
 Any subcommand also accepts ``--profile [PATH]``, which installs a tracer
 around the whole command and writes the same three trace files.
@@ -26,7 +31,8 @@ Usage::
         --time 1356998400 1357603200
     python -m repro.cli --profile traces/select select data/nyc --bbox ...
     python -m repro.cli lint src/ tests/ --format github
-    python -m repro.cli trace examples/quickstart.py --backend process
+    python -m repro.cli --backend process trace examples/quickstart.py
+    python -m repro.cli --backend process chaos examples/quickstart.py --parity
 """
 
 from __future__ import annotations
@@ -202,6 +208,139 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_script_traced(script: Path, backend: str, fault_env: str | None):
+    """Run ``script`` under a fresh tracer, capturing its stdout.
+
+    ``fault_env`` is the ``REPRO_FAULT_PLAN`` value for the run (``None``
+    runs fault-free); the variable is restored afterwards either way, as
+    is ``REPRO_DEFAULT_BACKEND``.  Returns ``(stdout_text, tracer)``.
+    """
+    import contextlib
+    import io
+    import os
+    import runpy
+
+    from repro.engine.faults import FAULT_PLAN_ENV
+    from repro.obs import Tracer, installed
+
+    tracer = Tracer()
+    saved = {
+        name: os.environ.get(name) for name in ("REPRO_DEFAULT_BACKEND", FAULT_PLAN_ENV)
+    }
+    os.environ["REPRO_DEFAULT_BACKEND"] = backend
+    if fault_env is None:
+        os.environ.pop(FAULT_PLAN_ENV, None)
+    else:
+        os.environ[FAULT_PLAN_ENV] = fault_env
+    captured = io.StringIO()
+    try:
+        with installed(tracer), contextlib.redirect_stdout(captured):
+            runpy.run_path(str(script), run_name="__main__")
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    return captured.getvalue(), tracer
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import re
+
+    from repro.engine.faults import FaultPlan
+    from repro.obs import text_tree, write_trace_files
+
+    script = Path(args.script)
+    if not script.exists():
+        print(f"chaos: no such script: {script}", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        plan = FaultPlan.from_spec(args.plan)
+    else:
+        mix = {
+            "task_error": args.error,
+            "worker_kill": args.kill,
+            "delay": args.delay,
+            "corrupt_read": args.corrupt,
+        }
+        if not any(p is not None for p in mix.values()):
+            # No explicit mix: a default storm that every backend survives.
+            mix = {
+                "task_error": 0.2,
+                "worker_kill": 0.1,
+                "delay": 0.2,
+                "corrupt_read": 0.2,
+            }
+        plan = FaultPlan.chaos(
+            seed=args.seed,
+            delay_seconds=args.delay_seconds,
+            **{k: (v or 0.0) for k, v in mix.items()},
+        )
+    out = args.out or Path("traces") / f"chaos-{script.stem}"
+
+    clean_output = None
+    if args.parity:
+        clean_output, _ = _run_script_traced(script, args.backend, None)
+    chaos_output, tracer = _run_script_traced(script, args.backend, plan.to_json())
+
+    if not args.quiet:
+        sys.stdout.write(chaos_output)
+        print(text_tree(tracer))
+        print()
+    counters = tracer.counters
+    fault_keys = (
+        "faults_injected",
+        "fault_delay_seconds",
+        "worker_losses",
+        "partitions_recomputed",
+        "backend_demotions",
+        "partitions_quarantined",
+        "checkpoint_saves",
+        "checkpoint_resumes",
+    )
+    summary = {k: counters[k] for k in fault_keys if counters.get(k)}
+    print(f"fault plan: seed={plan.seed} rules={len(plan.rules)} ({args.backend} backend)")
+    if summary:
+        print(
+            "chaos summary: "
+            + "  ".join(f"{k}={v:g}" for k, v in summary.items())
+        )
+    else:
+        print("chaos summary: no faults fired (raise probabilities or change seed)")
+    paths = write_trace_files(tracer, out)
+    for kind, path in sorted(paths.items()):
+        print(f"{kind} trace written to {path}")
+
+    if args.parity:
+        import tempfile
+
+        ignore = re.compile(args.ignore_lines) if args.ignore_lines else None
+        # Temp paths are run-unique by design; mask them so scripts that
+        # print their scratch workspace still compare equal.
+        tmp_path = re.compile(re.escape(tempfile.gettempdir()) + r"/\S+")
+
+        def keep(text: str) -> list[str]:
+            return [
+                tmp_path.sub("<TMP>", line)
+                for line in text.splitlines()
+                if not (ignore and ignore.search(line))
+            ]
+
+        clean_lines, chaos_lines = keep(clean_output), keep(chaos_output)
+        if clean_lines != chaos_lines:
+            print("parity: FAIL — chaos output differs from fault-free run:")
+            import difflib
+
+            for line in difflib.unified_diff(
+                clean_lines, chaos_lines, "fault-free", "chaos", lineterm="", n=1
+            ):
+                print(f"  {line}")
+            return 1
+        print(f"parity: OK — {len(chaos_lines)} output lines identical to fault-free run")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     meta = StDataset(args.path).metadata()
     print(f"dataset: {args.path}")
@@ -329,6 +468,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="skip printing the summary tree"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a pipeline script under deterministic fault injection",
+        description="Executes SCRIPT with a seeded FaultPlan active "
+        "(REPRO_FAULT_PLAN) and a tracer installed, prints a fault/recovery "
+        "summary, and writes the trace exports.  --parity additionally runs "
+        "the script fault-free first and fails (exit 1) unless both runs "
+        "print identical output — the determinism check the chaos-smoke CI "
+        "job enforces.",
+    )
+    chaos.add_argument("script", type=Path)
+    chaos.add_argument(
+        "--plan",
+        type=Path,
+        default=None,
+        help="JSON fault-plan file (overrides the probability flags)",
+    )
+    chaos.add_argument("--seed", type=int, default=17)
+    chaos.add_argument(
+        "--error", type=float, default=None, metavar="P",
+        help="per-attempt probability of an injected task error",
+    )
+    chaos.add_argument(
+        "--kill", type=float, default=None, metavar="P",
+        help="per-attempt probability of killing the executing worker",
+    )
+    chaos.add_argument(
+        "--delay", type=float, default=None, metavar="P",
+        help="per-attempt probability of an injected straggler delay",
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=None, metavar="P",
+        help="per-read probability of corrupting a block file's bytes",
+    )
+    chaos.add_argument(
+        "--delay-seconds", type=float, default=0.02,
+        help="duration of each injected delay (default 0.02)",
+    )
+    chaos.add_argument(
+        "--parity",
+        action="store_true",
+        help="also run fault-free and require identical script output",
+    )
+    chaos.add_argument(
+        "--ignore-lines",
+        default=r"^engine work:",
+        metavar="REGEX",
+        help="output lines matching REGEX are excluded from the parity "
+        "comparison (default: '^engine work:' — attempt counters "
+        "legitimately differ under retries)",
+    )
+    chaos.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="trace output path prefix (default: traces/chaos-<script-stem>)",
+    )
+    chaos.add_argument(
+        "--quiet",
+        action="store_true",
+        help="skip echoing script output and the summary tree",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -31,12 +31,23 @@ class Pipeline:
     returns the converted RDD.
     """
 
+    #: Phase names used for checkpoint directories, in execution order.
+    SELECTION_PHASE = "selection"
+    CONVERSION_PHASE = "conversion"
+
     def __init__(self, selector, converter=None, extractor=None):
         self.selector = selector
         self.converter = converter
         self.extractor = extractor
 
-    def run(self, ctx: EngineContext, source, **select_kwargs) -> Any:
+    def run(
+        self,
+        ctx: EngineContext,
+        source,
+        checkpoint_dir=None,
+        resume: bool = True,
+        **select_kwargs,
+    ) -> Any:
         """Execute all configured stages and return the final output.
 
         Under an active tracer (``ctx.tracer`` or the globally installed
@@ -45,6 +56,15 @@ class Pipeline:
         instrument themselves (the Selector, the collective converters,
         the cell-aggregating extractors) are not double-wrapped, and the
         explicit phase wrappers here cover custom operators that don't.
+
+        ``checkpoint_dir`` enables phase-level checkpoint-and-resume: the
+        post-Selection and post-Conversion RDDs are persisted there (via
+        :class:`~repro.engine.faults.PipelineCheckpoint`), and — when
+        ``resume=True`` — a re-run resumes from the last phase whose
+        checkpoint completed instead of recomputing everything upstream.
+        Extraction output is the pipeline's *result*, not a phase, so it
+        always runs.  ``resume=False`` keeps writing checkpoints but
+        ignores existing ones (a forced clean run).
         """
         tracer = ctx.tracer
         root = (
@@ -52,11 +72,29 @@ class Pipeline:
             if tracer is not None
             else nullcontext()
         )
+        ckpt = None
+        if checkpoint_dir is not None:
+            from repro.engine.faults import PipelineCheckpoint
+
+            ckpt = PipelineCheckpoint(checkpoint_dir, ctx)
         with root:
-            data = self.selector.select(ctx, source, **select_kwargs)
-            if self.converter is not None:
+            data = None
+            conversion_done = False
+            if ckpt is not None and resume:
+                if self.converter is not None and ckpt.has(self.CONVERSION_PHASE):
+                    data = ckpt.load(self.CONVERSION_PHASE)
+                    conversion_done = True
+                elif ckpt.has(self.SELECTION_PHASE):
+                    data = ckpt.load(self.SELECTION_PHASE)
+            if data is None:
+                data = self.selector.select(ctx, source, **select_kwargs)
+                if ckpt is not None:
+                    data = ckpt.save(self.SELECTION_PHASE, data)
+            if self.converter is not None and not conversion_done:
                 with _phase_span("Conversion", tracer):
                     data = self.converter.convert(data)
+                if ckpt is not None:
+                    data = ckpt.save(self.CONVERSION_PHASE, data)
             if self.extractor is not None:
                 with _phase_span("Extraction", tracer):
                     return self.extractor.extract(data)

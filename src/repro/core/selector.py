@@ -71,6 +71,13 @@ class Selector:
         cannot outlive ``select()``, the result is materialized eagerly
         under that backend and returned as a source RDD.  ``None`` (the
         default) keeps the context's backend and the usual lazy result.
+    on_corrupt:
+        What an undecodable on-disk block does during a from-disk select:
+        ``"raise"`` (default) aborts with
+        :class:`~repro.engine.errors.CorruptPartitionError`;
+        ``"quarantine"`` skips the block, loading it as an empty partition
+        and counting it in ``LoadStats.partitions_quarantined`` (surfaced
+        as a ``partitions_quarantined`` trace counter).
     """
 
     def __init__(
@@ -83,9 +90,12 @@ class Selector:
         duplicate: bool = False,
         backend: str | None = None,
         use_columnar: bool = True,
+        on_corrupt: str = "raise",
     ):
         if spatial is None and temporal is None:
             raise ValueError("a selector needs a spatial and/or temporal range")
+        if on_corrupt not in ("raise", "quarantine"):
+            raise ValueError("on_corrupt must be 'raise' or 'quarantine'")
         self.spatial = spatial
         self.temporal = temporal
         self.num_partitions = num_partitions
@@ -94,6 +104,7 @@ class Selector:
         self.duplicate = duplicate
         self.backend = backend
         self.use_columnar = use_columnar
+        self.on_corrupt = on_corrupt
         #: I/O statistics of the last ``select`` from disk (Figure 5 data).
         self.last_load_stats: LoadStats | None = None
         #: R-tree probe work of the last ``select``: node + entry tests
@@ -119,7 +130,11 @@ class Selector:
             return source
         if isinstance(source, (str, Path)):
             rdd, stats = StDataset(source).read(
-                ctx, self.spatial, self.temporal, use_metadata=use_metadata
+                ctx,
+                self.spatial,
+                self.temporal,
+                use_metadata=use_metadata,
+                on_corrupt=self.on_corrupt,
             )
             self.last_load_stats = stats
             return rdd
@@ -284,3 +299,8 @@ class Selector:
                 records_loaded=stats.records_loaded,
                 bytes_read=stats.bytes_read,
             )
+            if stats.partitions_quarantined:
+                tracer.counter(
+                    "partitions_quarantined", stats.partitions_quarantined
+                )
+                span.args["partitions_quarantined"] = stats.partitions_quarantined

@@ -29,11 +29,16 @@ from repro.engine.broadcast import Broadcast
 from repro.engine.accumulators import Accumulator, counter
 from repro.engine.metrics import JobMetrics, TaskMetrics
 from repro.engine.errors import (
+    CorruptPartitionError,
     EngineError,
+    InjectedFault,
+    InjectedWorkerLoss,
+    RetryBudgetExhausted,
     StrictModeViolation,
     TaskFailure,
     TaskSerializationError,
     TaskTimeout,
+    WorkerLostError,
 )
 from repro.engine.exec import (
     BACKENDS,
@@ -42,6 +47,13 @@ from repro.engine.exec import (
     SequentialBackend,
     ThreadBackend,
     resolve_backend,
+)
+from repro.engine.faults import (
+    FaultPlan,
+    FaultRule,
+    PipelineCheckpoint,
+    RecoveryOptions,
+    RetryPolicy,
 )
 
 __all__ = [
@@ -52,11 +64,21 @@ __all__ = [
     "counter",
     "JobMetrics",
     "TaskMetrics",
+    "CorruptPartitionError",
     "EngineError",
+    "InjectedFault",
+    "InjectedWorkerLoss",
+    "RetryBudgetExhausted",
     "StrictModeViolation",
     "TaskFailure",
     "TaskSerializationError",
     "TaskTimeout",
+    "WorkerLostError",
+    "FaultPlan",
+    "FaultRule",
+    "PipelineCheckpoint",
+    "RecoveryOptions",
+    "RetryPolicy",
     "Backend",
     "BACKENDS",
     "SequentialBackend",

@@ -9,9 +9,12 @@ from contextlib import contextmanager
 from threading import Lock
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
+from dataclasses import replace as _spec_replace
+
 from repro.engine.broadcast import Broadcast
-from repro.engine.errors import TaskFailure
+from repro.engine.errors import EngineError, TaskFailure, WorkerLostError
 from repro.engine.exec import Backend, SequentialBackend, StageSpec, resolve_backend
+from repro.engine.faults import FaultPlan, RecoveryOptions, RetryPolicy, demotion_target
 from repro.engine.metrics import JobMetrics, TaskMetrics
 from repro.engine.sanitizer import StageSanitizer
 
@@ -64,6 +67,23 @@ class EngineContext:
         :class:`~repro.engine.errors.StrictModeViolation` on *any*
         backend — the dynamic backstop of ``repro lint``.  Costs one
         serialization pass per stage; meant for tests and debugging.
+    fault_plan:
+        A :class:`~repro.engine.faults.FaultPlan` (or dict / JSON string /
+        path to one) injecting deterministic faults into every stage.
+        ``None`` consults the ``REPRO_FAULT_PLAN`` environment variable
+        (how ``repro chaos`` steers scripts that build their own context);
+        unset means no injection.
+    retry_policy:
+        A :class:`~repro.engine.faults.RetryPolicy` governing the shared
+        attempt loop on every backend — attempt caps, exponential backoff
+        with deterministic jitter, retry deadlines, per-stage budgets.
+        ``None`` builds one from ``max_task_retries``; an explicit policy
+        overrides ``max_task_retries`` with its ``max_attempts``.
+    recovery:
+        :class:`~repro.engine.faults.RecoveryOptions` for the worker-loss
+        recovery loop: how many lost-partition recomputation rounds a
+        stage gets, and when repeated loss demotes the backend along the
+        process→thread→sequential ladder.
     """
 
     def __init__(
@@ -75,13 +95,28 @@ class EngineContext:
         backend_options: dict | None = None,
         strict: bool = False,
         tracer: "Tracer | None" = None,
+        fault_plan: "FaultPlan | dict | str | None" = None,
+        retry_policy: RetryPolicy | None = None,
+        recovery: RecoveryOptions | None = None,
     ):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be positive")
         if max_task_retries < 1:
             raise ValueError("max_task_retries must be positive")
         self.default_parallelism = default_parallelism
-        self.max_task_retries = max_task_retries
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=max_task_retries)
+        )
+        # Back-compat view of the attempt cap; the policy is authoritative.
+        self.max_task_retries = self.retry_policy.max_attempts
+        self.fault_plan = (
+            FaultPlan.from_spec(fault_plan)
+            if fault_plan is not None
+            else FaultPlan.from_env()
+        )
+        self.recovery = recovery if recovery is not None else RecoveryOptions()
         self.metrics = JobMetrics()
         self._tracer_override = tracer
         if backend is None:
@@ -94,6 +129,8 @@ class EngineContext:
         self._sanitizer = StageSanitizer() if strict else None
         self._metrics_lock = Lock()
         self._in_task = threading.local()
+        #: Cumulative worker losses, driving the demotion ladder.
+        self._worker_losses_since_demotion = 0
         #: True on the pickled copy of this context living inside a
         #: process-pool worker: every stage there runs inline.
         self._worker_side = False
@@ -276,6 +313,10 @@ class EngineContext:
             task=tracked,
             max_task_retries=self.max_task_retries,
             failure_injector=self.task_failure_injector,
+            policy=self.retry_policy,
+            fault_plan=self.fault_plan,
+            stage_no=stage_no,
+            budget=self.retry_policy.new_stage_budget(),
         )
         nested = getattr(self._in_task, "active", False) or self._worker_side
         backend = self._inline if nested or num_partitions == 1 else self._backend
@@ -298,7 +339,9 @@ class EngineContext:
         if self._sanitizer is not None and not nested:
             snapshot = self._sanitizer.check_stage(task)
         try:
-            stage = backend.run_stage(spec)
+            stage = self._run_stage_with_recovery(
+                spec, backend, nested, stage_no, tracer, stage_span
+            )
         except TaskFailure as failure:
             with self._metrics_lock:
                 self.metrics.record_failed_task(
@@ -311,6 +354,10 @@ class EngineContext:
                         failed_seconds=failure.elapsed_seconds,
                     )
                 )
+            if stage_span is not None:
+                tracer.finish(stage_span, failed=True)
+            raise
+        except EngineError:
             if stage_span is not None:
                 tracer.finish(stage_span, failed=True)
             raise
@@ -330,6 +377,8 @@ class EngineContext:
                         worker=outcome.worker,
                         speculative=outcome.speculative,
                         started_wall=outcome.started_wall,
+                        injected_faults=outcome.injected_faults,
+                        injected_delay_seconds=outcome.injected_delay_seconds,
                     )
                 )
         if stage_span is not None:
@@ -337,6 +386,128 @@ class EngineContext:
         if snapshot is not None:
             self._sanitizer.verify_stage(task, snapshot)
         return [outcome.result for outcome in outcomes]
+
+    def _run_stage_with_recovery(
+        self, spec: StageSpec, backend: Backend, nested: bool, stage_no: int, tracer, stage_span
+    ):
+        """Run one stage, recomputing lost partitions after worker death.
+
+        The process backend surfaces a dead worker as
+        :class:`~repro.engine.errors.WorkerLostError` carrying every task
+        outcome that already landed.  Recovery keeps those and re-runs
+        *only* the missing partitions — lineage recomputation, not a
+        whole-stage re-run — with ``attempt_offset`` bumped so per-task
+        retry caps (and first-attempt-only fault rules) keep counting
+        across the boundary.  Repeated loss demotes the backend along the
+        process→thread→sequential ladder (:mod:`repro.engine.faults.recovery`).
+        """
+        import time as _time
+
+        salvaged: dict = {}  # partition -> salvaged TaskOutcome
+        recoveries = 0
+        speculative_launched = 0
+        speculative_wins = 0
+        recovery_started: float | None = None
+        while True:
+            try:
+                stage = backend.run_stage(spec)
+            except WorkerLostError as loss:
+                for outcome in loss.outcomes:
+                    salvaged[outcome.partition] = outcome
+                remaining = [
+                    p for p in spec.partition_ids() if p not in salvaged
+                ]
+                recoveries += 1
+                with self._metrics_lock:
+                    self.metrics.worker_losses += 1
+                    self.metrics.partitions_recomputed += len(remaining)
+                self._worker_losses_since_demotion += 1
+                now = _time.time()
+                if tracer is not None:
+                    tracer.counter("worker_losses", 1)
+                    tracer.counter("partitions_recomputed", len(remaining))
+                    tracer.add_span(
+                        f"worker-loss-{recoveries}",
+                        "fault",
+                        now,
+                        now,
+                        parent=stage_span,
+                        salvaged=len(salvaged),
+                        lost_partitions=remaining,
+                    )
+                if recoveries > self.recovery.max_stage_recoveries:
+                    raise EngineError(
+                        f"stage {stage_no} lost workers {recoveries} times "
+                        f"(recovery limit {self.recovery.max_stage_recoveries}); "
+                        f"giving up with partitions {remaining} incomplete"
+                    ) from loss
+                backend = self._maybe_demote(backend, nested, tracer, stage_span)
+                recovery_started = now
+                spec = _spec_replace(
+                    spec,
+                    partitions=remaining,
+                    attempt_offset=spec.attempt_offset + 1,
+                )
+                continue
+            speculative_launched += stage.speculative_launched
+            speculative_wins += stage.speculative_wins
+            if recovery_started is not None and tracer is not None:
+                tracer.add_span(
+                    f"recovery-{recoveries}",
+                    "recovery",
+                    recovery_started,
+                    _time.time(),
+                    parent=stage_span,
+                    partitions=len(spec.partition_ids()),
+                    backend=backend.name,
+                )
+            break
+        if salvaged:
+            for outcome in stage.outcomes:
+                salvaged[outcome.partition] = outcome
+            stage.outcomes = [salvaged[p] for p in sorted(salvaged)]
+        stage.speculative_launched = speculative_launched
+        stage.speculative_wins = speculative_wins
+        return stage
+
+    def _maybe_demote(self, backend: Backend, nested: bool, tracer, stage_span) -> Backend:
+        """Demote the context's backend one ladder rung if loss warrants it.
+
+        Returns the backend the recovery re-dispatch should use: the
+        demoted one when demotion happened, the (freshly re-pooled)
+        current backend otherwise.
+        """
+        if (
+            nested
+            or not self.recovery.demote
+            or backend is not self._backend
+            or self._worker_losses_since_demotion < self.recovery.demote_after_worker_losses
+        ):
+            return self._backend if backend is self._backend else backend
+        target = demotion_target(self._backend.name)
+        if target is None:
+            return self._backend
+        import time as _time
+
+        previous = self._backend
+        self._backend = resolve_backend(target, self.default_parallelism, None)
+        previous.stop()
+        self._worker_losses_since_demotion = 0
+        with self._metrics_lock:
+            self.metrics.backend_demotions += 1
+        if tracer is not None:
+            tracer.counter("backend_demotions", 1)
+            now = _time.time()
+            tracer.add_span(
+                "backend-demotion",
+                "recovery",
+                now,
+                now,
+                parent=stage_span,
+                from_backend=previous.name,
+                to_backend=target,
+            )
+        return self._backend
 
     def _trace_stage(self, tracer, stage_span, stage, outcomes) -> None:
         """Replay a finished stage's task outcomes as spans + counters.
@@ -347,8 +518,12 @@ class EngineContext:
         process backend, whose workers never see the tracer.
         """
         records = 0
+        injected = 0
+        injected_delay = 0.0
         for outcome in outcomes:
             records += len(outcome.result)
+            injected += outcome.injected_faults
+            injected_delay += outcome.injected_delay_seconds
             start = outcome.started_wall or stage_span.start
             tracer.add_span(
                 f"task-{outcome.partition}",
@@ -361,10 +536,21 @@ class EngineContext:
                 records_out=len(outcome.result),
                 attempts=outcome.attempts,
                 speculative=outcome.speculative,
+                # Injected-fault args appear only under an active plan, so
+                # fault-free span trees stay identical across backends.
+                **(
+                    {"injected_faults": outcome.injected_faults}
+                    if outcome.injected_faults
+                    else {}
+                ),
             )
         tracer.counter("stages", 1)
         tracer.counter("tasks", len(outcomes))
         tracer.counter("records_out", records)
+        if injected:
+            tracer.counter("faults_injected", injected)
+        if injected_delay:
+            tracer.counter("fault_delay_seconds", round(injected_delay, 6))
         exec_window = (
             max(0.0, stage.ended_wall - stage.started_wall)
             if stage.ended_wall

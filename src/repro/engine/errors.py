@@ -14,7 +14,9 @@ class TaskFailure(EngineError):
     times (Spark's ``spark.task.maxFailures`` analog) before surfacing this.
     ``elapsed_seconds`` is the wall-clock wasted across the failed attempts,
     so retry overhead stays visible in :class:`~repro.engine.metrics.JobMetrics`
-    even when a stage ultimately aborts.
+    even when a stage ultimately aborts.  ``history`` is the per-attempt
+    error log — ``(attempt_number, error_repr)`` pairs — so a stage abort
+    shows *every* error the retries saw, not just the last one.
     """
 
     def __init__(
@@ -23,14 +25,20 @@ class TaskFailure(EngineError):
         attempts: int,
         cause: BaseException | None,
         elapsed_seconds: float = 0.0,
+        history: tuple[tuple[int, str], ...] = (),
     ):
-        super().__init__(
+        message = (
             f"task for partition {partition} failed after {attempts} attempt(s): {cause!r}"
         )
+        if history:
+            trail = "; ".join(f"#{n}: {err}" for n, err in history)
+            message += f" [attempt history: {trail}]"
+        super().__init__(message)
         self.partition = partition
         self.attempts = attempts
         self.cause = cause
         self.elapsed_seconds = elapsed_seconds
+        self.history = tuple(history)
 
     def __reduce__(self):
         # Process-pool workers ship this exception back through pickle; the
@@ -38,7 +46,13 @@ class TaskFailure(EngineError):
         # string only, losing the structured fields.
         return (
             TaskFailure,
-            (self.partition, self.attempts, self.cause, self.elapsed_seconds),
+            (
+                self.partition,
+                self.attempts,
+                self.cause,
+                self.elapsed_seconds,
+                self.history,
+            ),
         )
 
 
@@ -88,3 +102,90 @@ class TaskTimeout(EngineError):
 
     def __reduce__(self):
         return (TaskTimeout, (self.partition, self.timeout_seconds))
+
+
+class InjectedFault(EngineError):
+    """A fault raised on purpose by an active :class:`~repro.engine.faults.FaultPlan`.
+
+    Retryable like any task error; the shared attempt loop additionally
+    counts it in ``TaskOutcome.injected_faults`` so chaos runs can separate
+    injected noise from organic failures in metrics and traces.
+    """
+
+    def __init__(self, message: str, site: str = ""):
+        super().__init__(message)
+        self.site = site
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.site))
+
+
+class InjectedWorkerLoss(InjectedFault):
+    """A simulated worker death on an in-process backend.
+
+    On the process backend a ``worker_kill`` fault SIGKILLs the real worker
+    process; the sequential and thread backends have no process to kill, so
+    the plan raises this instead — same retry path, same accounting.
+    """
+
+
+class RetryBudgetExhausted(EngineError):
+    """A stage burned through its shared retry budget (``RetryPolicy.stage_attempt_budget``).
+
+    Used as the ``cause`` of the surfacing :class:`TaskFailure`: the task
+    that hit the empty budget aborts even though its own per-task attempt
+    allowance was not exhausted.
+    """
+
+    def __init__(self, partition: int, budget: int):
+        super().__init__(
+            f"stage retry budget exhausted ({budget} failed attempt(s) across "
+            f"the stage); partition {partition} aborted"
+        )
+        self.partition = partition
+        self.budget = budget
+
+    def __reduce__(self):
+        return (RetryBudgetExhausted, (self.partition, self.budget))
+
+
+class CorruptPartitionError(EngineError):
+    """An on-disk partition block could not be deserialized.
+
+    Raised by the stio reader when a block file's pickle stream is
+    truncated or mangled.  Retryable (a re-read may see clean bytes —
+    injected corruption is transient by design); under
+    ``on_corrupt="quarantine"`` the reader swallows it, returns an empty
+    partition, and counts the file in ``LoadStats.partitions_quarantined``.
+    """
+
+    def __init__(self, filename: str, detail: str = ""):
+        message = f"corrupt partition block {filename!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.filename = filename
+        self.detail = detail
+
+    def __reduce__(self):
+        return (CorruptPartitionError, (self.filename, self.detail))
+
+
+class WorkerLostError(EngineError):
+    """The process pool died mid-stage, with work still outstanding.
+
+    Raised driver-side by the process backend (never pickled) so the
+    engine's recovery loop can salvage the outcomes that already landed
+    and recompute *only* the lost partitions from lineage, instead of
+    aborting or re-running the whole stage.  ``outcomes`` are the salvaged
+    :class:`~repro.engine.exec.TaskOutcome` records; ``lost_partitions``
+    are the partition indices still owed.
+    """
+
+    def __init__(self, outcomes: list, lost_partitions: list[int]):
+        super().__init__(
+            f"worker process lost mid-stage; {len(outcomes)} task(s) salvaged, "
+            f"partitions {lost_partitions} need recomputation"
+        )
+        self.outcomes = outcomes
+        self.lost_partitions = list(lost_partitions)

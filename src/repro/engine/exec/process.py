@@ -4,12 +4,13 @@ This is the backend that turns partitioner load balance into wall-clock
 speedup: tasks run on a pool of OS processes, sidestepping the GIL for
 CPU-bound stages.  The moving parts, in dispatch order:
 
-1. **Serialization.**  The stage's task closure (and the failure-injector
-   hook, so fault-injection tests compose with this backend) is pickled
-   *once* per stage — with ``cloudpickle`` when available, so lambda-laden
-   RDD lineages work; otherwise stdlib pickle, which restricts stages to
-   module-level callables.  Workers cache the deserialized stage by token,
-   so each worker pays the decode once per stage, not once per chunk.
+1. **Serialization.**  The stage's task closure (with the failure-injector
+   hook, the retry policy, and the fault plan, so fault injection composes
+   with this backend) is pickled *once* per stage — with ``cloudpickle``
+   when available, so lambda-laden RDD lineages work; otherwise stdlib
+   pickle, which restricts stages to module-level callables.  Workers
+   cache the deserialized stage by token, so each worker pays the decode
+   once per stage, not once per chunk.
 2. **Chunking.**  Partition indices are batched into chunks sized by the
    cost model (:func:`~repro.engine.costmodel.suggest_task_chunks`):
    coarse enough to amortize dispatch, fine enough that late chunks level
@@ -24,14 +25,22 @@ CPU-bound stages.  The moving parts, in dispatch order:
    reported in :class:`~repro.engine.exec.base.StageResult` (Spark's
    ``spark.speculation`` analog).
 5. **Timeout + retry.**  With ``task_timeout`` set, a chunk exceeding it
-   is re-dispatched (counting toward ``max_task_retries``); when the
-   budget is exhausted a :class:`TaskFailure` with a
+   is re-dispatched (counting toward the retry limit); when the budget is
+   exhausted a :class:`TaskFailure` with a
    :class:`~repro.engine.errors.TaskTimeout` cause surfaces.  In-worker
    exceptions retry inside the worker via the shared attempt loop.
+6. **Worker loss.**  A dead worker (SIGKILL, OOM, interpreter crash)
+   breaks the pool; instead of aborting, the backend discards the pool
+   and raises :class:`~repro.engine.errors.WorkerLostError` carrying every
+   outcome that already landed — the engine then recomputes *only* the
+   lost partitions from lineage (Spark's recompute-on-executor-loss).
 
 Abandoned copies (speculative losers, timed-out attempts) cannot be
 killed mid-task — their results are discarded when they eventually land,
-which is exactly Spark's zombie-task behavior.
+which is exactly Spark's zombie-task behavior.  A *failed* copy landing
+while its sibling is still in flight is likewise discarded (its retry
+cost folded into the chunk's waste accounting), not raised: the in-flight
+copy may yet succeed, and double-raising double-metered the attempts.
 """
 
 from __future__ import annotations
@@ -44,7 +53,13 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.engine.errors import EngineError, TaskFailure, TaskSerializationError, TaskTimeout
+from repro.engine.errors import (
+    EngineError,
+    TaskFailure,
+    TaskSerializationError,
+    TaskTimeout,
+    WorkerLostError,
+)
 from repro.engine.exec.base import Backend, StageResult, StageSpec, TaskOutcome, run_task_attempts
 
 try:  # cloudpickle widens picklability to lambdas/closures; optional.
@@ -75,7 +90,7 @@ def _serialize_stage(spec: StageSpec) -> tuple[bytes, list[bytes]]:
     buffers: list[bytes] = []
     try:
         payload = dumps(
-            (spec.task, spec.failure_injector),
+            (spec.task, spec.failure_injector, spec.policy, spec.fault_plan, spec.stage_no),
             protocol=5,
             buffer_callback=lambda buf: buffers.append(buf.raw().tobytes()),
         )
@@ -122,20 +137,36 @@ def _run_chunk(
     buffers: list[bytes],
     partitions: list[int],
     max_task_retries: int,
+    attempt_offset: int = 0,
+    budget=None,
 ) -> list[TaskOutcome]:
     """Worker entry point: run a batch of tasks, return their outcomes.
 
     A permanent in-worker failure raises :class:`TaskFailure`, which
     travels back through the pool's result pickling (it defines
     ``__reduce__``; an unpicklable cause is downgraded to its repr).
+    ``budget`` is this chunk's copy of the stage retry budget — shipped
+    by value, so the cap is per-executor on this backend.
     """
-    task, injector = _load_stage(token, payload, buffers)
+    task, injector, policy, fault_plan, stage_no = _load_stage(token, payload, buffers)
     worker = f"pid-{os.getpid()}"
     outcomes = []
     for partition in partitions:
         try:
             outcomes.append(
-                run_task_attempts(task, partition, max_task_retries, injector, worker=worker)
+                run_task_attempts(
+                    task,
+                    partition,
+                    max_task_retries,
+                    injector,
+                    worker=worker,
+                    policy=policy,
+                    fault_plan=fault_plan,
+                    stage_no=stage_no,
+                    attempt_offset=attempt_offset,
+                    budget=budget,
+                    process_worker=True,
+                )
             )
         except TaskFailure as failure:
             try:
@@ -154,6 +185,9 @@ class _ChunkState:
         "first_submitted",
         "last_submitted",
         "resubmits",
+        "swallowed_timeouts",
+        "wasted_attempts",
+        "wasted_seconds",
         "speculated",
         "finished",
         "futures",
@@ -164,9 +198,52 @@ class _ChunkState:
         self.first_submitted = now
         self.last_submitted = now
         self.resubmits = 0  # timeout re-dispatches (count toward retries)
+        self.swallowed_timeouts = 0  # zombie failures already covered by resubmits
+        self.wasted_attempts = 0  # failed attempts from discarded sibling copies
+        self.wasted_seconds = 0.0
         self.speculated = False
         self.finished = False
         self.futures: dict[Future, bool] = {}  # future -> is_speculative
+
+
+def _note_copy_failure(
+    chunk: _ChunkState, failure: TaskFailure, was_speculative: bool
+) -> TaskFailure | None:
+    """Account one copy's failure; return a failure to raise iff fatal.
+
+    With another copy of the chunk still in flight, the failed copy is a
+    zombie: its retry cost is folded into the chunk's waste accounting
+    (exactly once — a timed-out original whose re-dispatch is running was
+    *already* charged via ``resubmits``, so it folds nothing) and the
+    stage keeps running.  Only when the last copy fails does the stage
+    abort, with the waste of the discarded copies merged in — previously
+    the first landing failure aborted immediately AND re-added the
+    resubmit charge on top of the zombie's own attempts, double-metering
+    the same logical attempts.
+    """
+    if chunk.futures:  # a sibling copy is still in flight — may yet win
+        if (
+            not was_speculative
+            and chunk.swallowed_timeouts < chunk.resubmits
+        ):
+            # A timed-out original landing late: its dispatch was already
+            # charged to the winning outcome as a resubmit.
+            chunk.swallowed_timeouts += 1
+        else:
+            chunk.wasted_attempts += failure.attempts
+            chunk.wasted_seconds += failure.elapsed_seconds
+        return None
+    total_attempts = failure.attempts + chunk.wasted_attempts
+    if chunk.wasted_attempts == 0:
+        failure.attempts = total_attempts
+        return failure
+    return TaskFailure(
+        failure.partition,
+        total_attempts,
+        failure.cause,
+        elapsed_seconds=failure.elapsed_seconds + chunk.wasted_seconds,
+        history=failure.history,
+    )
 
 
 class ProcessBackend(Backend):
@@ -180,8 +257,8 @@ class ProcessBackend(Backend):
         Partitions per dispatched batch; ``None`` asks the cost model.
     task_timeout:
         Seconds a chunk may run before being re-dispatched; ``None``
-        disables timeouts.  Timed-out dispatches count toward
-        ``max_task_retries``.
+        disables timeouts.  Timed-out dispatches count toward the retry
+        limit.
     speculative_fraction:
         Launch budget for speculative copies, as a fraction of the
         stage's chunks (the "slowest K%"); ``0`` disables speculation.
@@ -270,32 +347,34 @@ class ProcessBackend(Backend):
             if tracer is not None:
                 tracer.counter("stage_oob_bytes", oob_bytes)
         token = next(_stage_tokens)
-        pool = self._ensure_pool()
 
-        size = self.chunk_size or suggest_task_chunks(spec.num_partitions, self.max_workers)
-        partitions = list(range(spec.num_partitions))
-        now = time.monotonic()
-        chunks = [
-            _ChunkState(partitions[i : i + size], now)
-            for i in range(0, len(partitions), size)
-        ]
-        pending: dict[Future, _ChunkState] = {}
-        for chunk in chunks:
-            self._dispatch(
-                pool, token, payload, buffers, spec, chunk, pending, speculative=False
-            )
-
+        partitions = spec.partition_ids()
+        size = self.chunk_size or suggest_task_chunks(len(partitions), self.max_workers)
         try:
+            pool = self._ensure_pool()
+            now = time.monotonic()
+            chunks = [
+                _ChunkState(partitions[i : i + size], now)
+                for i in range(0, len(partitions), size)
+            ]
+            pending: dict[Future, _ChunkState] = {}
+            for chunk in chunks:
+                self._dispatch(
+                    pool, token, payload, buffers, spec, chunk, pending, speculative=False
+                )
             result = self._gather(pool, token, payload, buffers, spec, chunks, pending)
             result.started_wall = started_wall
             result.ended_wall = time.time()
             return result
-        except BrokenProcessPool as exc:
+        except WorkerLostError:
+            # The broken pool is useless; discard it so the next stage (or
+            # the engine's recovery re-dispatch) starts a fresh one.
             self.stop()
-            raise EngineError(
-                "process pool died mid-stage (a worker was killed or the "
-                "task crashed the interpreter); the pool has been discarded"
-            ) from exc
+            raise
+        except BrokenProcessPool as exc:
+            # Pool died outside the gather loop (warm-up or dispatch).
+            self.stop()
+            raise WorkerLostError([], partitions) from exc
 
     def _dispatch(
         self,
@@ -310,7 +389,14 @@ class ProcessBackend(Backend):
         speculative: bool,
     ) -> None:
         future = pool.submit(
-            _run_chunk, token, payload, buffers, chunk.partitions, spec.max_task_retries
+            _run_chunk,
+            token,
+            payload,
+            buffers,
+            chunk.partitions,
+            spec.max_task_retries,
+            spec.attempt_offset,
+            spec.budget,
         )
         chunk.futures[future] = speculative
         chunk.last_submitted = time.monotonic()
@@ -333,46 +419,63 @@ class ProcessBackend(Backend):
             self.speculative_fraction > 0 and len(chunks) > 1
         ) else 0
 
-        while any(not c.finished for c in chunks):
-            if not pending:
-                raise EngineError("process backend lost track of in-flight chunks")
-            done, _ = wait(set(pending), timeout=self.poll_interval, return_when=FIRST_COMPLETED)
-            now = time.monotonic()
-            for future in done:
-                chunk = pending.pop(future)
-                was_speculative = chunk.futures.pop(future, False)
-                if chunk.finished:
-                    continue  # the other copy already won; discard
-                failure = future.exception()
-                if failure is not None:
-                    if isinstance(failure, BrokenProcessPool):
-                        raise failure
+        try:
+            while any(not c.finished for c in chunks):
+                if not pending:
+                    raise EngineError("process backend lost track of in-flight chunks")
+                done, _ = wait(set(pending), timeout=self.poll_interval, return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for future in done:
+                    chunk = pending.pop(future)
+                    was_speculative = chunk.futures.pop(future, False)
+                    if chunk.finished:
+                        continue  # the other copy already won; discard
+                    failure = future.exception()
+                    if failure is not None:
+                        if isinstance(failure, BrokenProcessPool):
+                            raise failure
+                        if isinstance(failure, TaskFailure):
+                            fatal = _note_copy_failure(chunk, failure, was_speculative)
+                            if fatal is None:
+                                continue  # a sibling copy may still win
+                            chunk.finished = True
+                            raise fatal
+                        chunk.finished = True
+                        raise EngineError(
+                            f"process worker failed to return chunk {chunk.partitions}: "
+                            f"{failure!r}"
+                        ) from failure
                     chunk.finished = True
-                    if isinstance(failure, TaskFailure):
-                        failure.attempts += chunk.resubmits
-                        raise failure
-                    raise EngineError(
-                        f"process worker failed to return chunk {chunk.partitions}: "
-                        f"{failure!r}"
-                    ) from failure
-                chunk.finished = True
-                finished_elapsed.append(now - chunk.first_submitted)
-                if was_speculative:
-                    result.speculative_wins += 1
-                for outcome in future.result():
-                    outcome.speculative = was_speculative
-                    # Fold timeout re-dispatches into the task's attempt
-                    # accounting so retry overhead stays visible.
-                    outcome.attempts += chunk.resubmits
-                    outcome.failed_attempts += chunk.resubmits
-                    if self.task_timeout is not None:
-                        outcome.failed_seconds += chunk.resubmits * self.task_timeout
-                    outcomes[outcome.partition] = outcome
+                    finished_elapsed.append(now - chunk.first_submitted)
+                    if was_speculative:
+                        result.speculative_wins += 1
+                    for outcome in future.result():
+                        outcome.speculative = was_speculative
+                        # Fold timeout re-dispatches and discarded sibling
+                        # copies into the task's attempt accounting so
+                        # retry overhead stays visible — each charged once.
+                        outcome.attempts += chunk.resubmits
+                        outcome.failed_attempts += chunk.resubmits + chunk.wasted_attempts
+                        outcome.failed_seconds += chunk.wasted_seconds
+                        if self.task_timeout is not None:
+                            outcome.failed_seconds += chunk.resubmits * self.task_timeout
+                        outcomes[outcome.partition] = outcome
 
-            self._handle_stragglers(
-                pool, token, payload, buffers, spec, chunks, pending,
-                finished_elapsed, result, speculative_budget,
-            )
+                self._handle_stragglers(
+                    pool, token, payload, buffers, spec, chunks, pending,
+                    finished_elapsed, result, speculative_budget,
+                )
+        except BrokenProcessPool as exc:
+            # A worker died (SIGKILL/OOM/crash): salvage what landed and
+            # tell the engine exactly which partitions still need work.
+            salvaged = [outcomes[p] for p in sorted(outcomes)]
+            lost = [
+                p
+                for chunk in chunks
+                for p in chunk.partitions
+                if p not in outcomes
+            ]
+            raise WorkerLostError(salvaged, lost) from exc
 
         result.outcomes = [outcomes[p] for p in sorted(outcomes)]
         return result
@@ -397,7 +500,7 @@ class ProcessBackend(Backend):
             for chunk in chunks:
                 if chunk.finished or now - chunk.last_submitted <= self.task_timeout:
                     continue
-                if chunk.resubmits + 1 >= spec.max_task_retries:
+                if chunk.resubmits + 1 >= spec.retry_limit:
                     chunk.finished = True
                     partition = chunk.partitions[0]
                     raise TaskFailure(

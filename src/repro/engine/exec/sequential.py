@@ -14,7 +14,8 @@ class SequentialBackend(Backend):
     counted-work metrics are identical to the parallel backends', which is
     what keeps benchmark comparisons honest.  It is also the engine's
     fallback for nested stages (a shuffle's map side evaluated from inside
-    a pool worker must not be resubmitted to the same pool).
+    a pool worker must not be resubmitted to the same pool) and the floor
+    of the worker-loss demotion ladder.
     """
 
     name = "sequential"
@@ -23,8 +24,16 @@ class SequentialBackend(Backend):
         started = time.time()
         outcomes = [
             run_task_attempts(
-                spec.task, partition, spec.max_task_retries, spec.failure_injector
+                spec.task,
+                partition,
+                spec.max_task_retries,
+                spec.failure_injector,
+                policy=spec.policy,
+                fault_plan=spec.fault_plan,
+                stage_no=spec.stage_no,
+                attempt_offset=spec.attempt_offset,
+                budget=spec.budget,
             )
-            for partition in range(spec.num_partitions)
+            for partition in spec.partition_ids()
         ]
         return StageResult(outcomes, started_wall=started, ended_wall=time.time())

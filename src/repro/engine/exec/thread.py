@@ -16,6 +16,11 @@ def _run_in_thread(spec: StageSpec, partition: int):
         spec.max_task_retries,
         spec.failure_injector,
         worker=threading.current_thread().name,
+        policy=spec.policy,
+        fault_plan=spec.fault_plan,
+        stage_no=spec.stage_no,
+        attempt_offset=spec.attempt_offset,
+        budget=spec.budget,
     )
 
 
@@ -51,7 +56,7 @@ class ThreadBackend(Backend):
         started = time.time()
         futures = [
             pool.submit(_run_in_thread, spec, partition)
-            for partition in range(spec.num_partitions)
+            for partition in spec.partition_ids()
         ]
         # Gather in partition order so a multi-partition failure surfaces
         # the lowest failing partition, matching sequential execution.

@@ -1,0 +1,50 @@
+"""Deterministic fault injection and the engine's recovery policies.
+
+The package splits cleanly along the failure-handling story:
+
+* :mod:`~repro.engine.faults.plan` — *inject*: seeded, site-keyed faults
+  (task errors, worker kills, straggler delays, corrupt block reads).
+* :mod:`~repro.engine.faults.policy` — *retry*: the unified
+  :class:`RetryPolicy` (attempt caps, backoff + deterministic jitter,
+  deadlines, shared stage budgets).
+* :mod:`~repro.engine.faults.recovery` — *recover*: lost-partition
+  recomputation limits and the process→thread→sequential demotion ladder.
+* :mod:`~repro.engine.faults.checkpoint` — *resume*: phase-level
+  checkpoint-and-resume for pipelines.
+
+Entry points: ``EngineContext(fault_plan=..., retry_policy=...,
+recovery=...)``, the ``REPRO_FAULT_PLAN`` environment variable, and the
+``repro chaos`` CLI.
+"""
+
+from __future__ import annotations
+
+from repro.engine.faults.checkpoint import COMPLETE_MARKER, PipelineCheckpoint
+from repro.engine.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    corrupt_bytes,
+)
+from repro.engine.faults.policy import RetryBudget, RetryPolicy
+from repro.engine.faults.recovery import (
+    DEMOTION_LADDER,
+    RecoveryOptions,
+    demotion_target,
+)
+
+__all__ = [
+    "COMPLETE_MARKER",
+    "DEMOTION_LADDER",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "PipelineCheckpoint",
+    "RecoveryOptions",
+    "RetryBudget",
+    "RetryPolicy",
+    "corrupt_bytes",
+    "demotion_target",
+]

@@ -1,0 +1,317 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` decides — from a seed and the fault *site* alone —
+whether a fault fires at a given ``(stage, partition, attempt)`` or on a
+given block-file read.  Decisions are pure functions of the key (hashed
+with BLAKE2b, never Python's per-process-randomized ``hash()``), so the
+same plan injects the same faults on every backend, in every worker
+process, on every run: chaos tests can assert exact recovery behavior,
+and the CI chaos job can assert output parity with a fault-free run.
+
+Four fault kinds, mirroring the failure model of lineage-based engines
+(RDD recomputation, MapReduce speculative re-execution):
+
+``task_error``
+    Raise :class:`~repro.engine.errors.InjectedFault` inside the stage
+    closure — an executor-side task crash, recovered by the retry loop.
+``worker_kill``
+    SIGKILL the executing process-pool worker (a real worker death, taking
+    its whole chunk with it); on in-process backends, where there is no
+    process to kill, raise :class:`~repro.engine.errors.InjectedWorkerLoss`
+    instead.  Recovered by lost-partition recomputation.
+``delay``
+    Sleep before the attempt — a straggler, recovered (on the process
+    backend) by speculative re-execution or simply tolerated.
+``corrupt_read``
+    Hand the stio reader mangled bytes for a block file's first read(s) —
+    a transient storage fault, recovered by the retry loop re-reading.
+
+Rules fire only while ``attempt <= max_attempt`` (default 1), so an
+injected fault cannot chase its own recovery forever: the retried or
+recomputed attempt runs clean and the plan converges by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+
+from repro.engine.errors import InjectedFault, InjectedWorkerLoss
+
+#: Environment variable consulted by ``EngineContext`` when no explicit
+#: ``fault_plan`` is passed: inline JSON (starts with ``{``) or a path to
+#: a JSON plan file.  How ``repro chaos`` steers scripts that build their
+#: own context.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+FAULT_KINDS = ("task_error", "worker_kill", "delay", "corrupt_read")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection site pattern.
+
+    ``stage`` and ``partition`` narrow the site (``None`` matches any);
+    ``probability`` is the per-site firing chance (1.0 = always);
+    ``max_attempt`` caps which attempts the rule may hit — the default 1
+    means "first attempt only", guaranteeing the retry recovers.  For
+    ``corrupt_read`` rules the attempt counter is the per-worker read
+    count of the block file and ``path`` substring-matches the file path.
+    """
+
+    kind: str
+    stage: int | None = None
+    partition: int | None = None
+    probability: float = 1.0
+    max_attempt: int = 1
+    delay_seconds: float = 0.0
+    path: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_attempt < 1:
+            raise ValueError("max_attempt must be positive")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, omitting defaults, for JSON plans."""
+        out: dict = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            if f.name == "kind":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+
+def _unit_interval(seed: int, *key: object) -> float:
+    """Deterministic uniform [0, 1) from a site key.
+
+    BLAKE2b over the formatted key: stable across processes, platforms,
+    and ``PYTHONHASHSEED`` — the property ``hash()`` does not have.
+    """
+    import hashlib
+
+    material = "|".join(str(k) for k in (seed, *key)).encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+def corrupt_bytes(raw: bytes) -> bytes:
+    """Deterministically mangle a pickle payload beyond recovery.
+
+    Truncate to half and flip the header bytes: ``pickle.loads`` fails on
+    either the bad opcode or the missing STOP, whichever it meets first.
+    """
+    if not raw:
+        return b"\xff"
+    half = raw[: max(1, len(raw) // 2)]
+    head = bytes(b ^ 0xFF for b in half[:8])
+    return head + half[8:]
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` sites, consulted by the engine.
+
+    The plan travels inside pickled stage closures to process-pool workers
+    (its decisions don't depend on which side evaluates them).  The only
+    mutable state — the per-file read counters backing ``corrupt_read``'s
+    "first read only" semantics and the fired-fault log — is worker-local
+    by design: a fresh worker re-corrupts a file's first read, and the
+    retry loop re-reads it clean either way.
+    """
+
+    def __init__(self, rules: "list[FaultRule] | tuple[FaultRule, ...]" = (), seed: int = 0):
+        self.rules = tuple(rules)
+        self.seed = seed
+        self._lock = Lock()
+        self._read_counts: dict[tuple[int, str], int] = {}
+        #: Local log of fired faults: ``(kind, stage, partition, attempt)``.
+        self.fired: list[tuple[str, int, int, int]] = []
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int = 17,
+        *,
+        task_error: float = 0.0,
+        worker_kill: float = 0.0,
+        delay: float = 0.0,
+        corrupt_read: float = 0.0,
+        delay_seconds: float = 0.02,
+    ) -> "FaultPlan":
+        """A plan of site-wide probability rules — the ``repro chaos`` mix."""
+        rules = []
+        if task_error > 0:
+            rules.append(FaultRule("task_error", probability=task_error))
+        if worker_kill > 0:
+            rules.append(FaultRule("worker_kill", probability=worker_kill))
+        if delay > 0:
+            rules.append(
+                FaultRule("delay", probability=delay, delay_seconds=delay_seconds)
+            )
+        if corrupt_read > 0:
+            rules.append(FaultRule("corrupt_read", probability=corrupt_read))
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        rules = [FaultRule(**rule) for rule in payload.get("rules", [])]
+        return cls(rules, seed=int(payload.get("seed", 0)))
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``seed`` + ``rules``)."""
+        return {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+
+    def to_json(self) -> str:
+        """Serialize for ``REPRO_FAULT_PLAN`` or a plan file."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_spec(cls, spec: "FaultPlan | dict | str | Path | None") -> "FaultPlan | None":
+        """Coerce any accepted plan spelling into a plan instance.
+
+        Accepts an existing plan, a plain dict, inline JSON, or a path to
+        a JSON file; ``None`` passes through.
+        """
+        if spec is None or isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, dict):
+            return cls.from_dict(spec)
+        text = str(spec)
+        if text.lstrip().startswith("{"):
+            return cls.from_dict(json.loads(text))
+        return cls.from_dict(json.loads(Path(text).read_text()))
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """Build from ``REPRO_FAULT_PLAN``, or ``None`` when unset/empty."""
+        value = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        return cls.from_spec(value) if value else None
+
+    # -- decisions ------------------------------------------------------------------
+
+    def decide(
+        self, kind: str, stage: int, partition: int, attempt: int
+    ) -> FaultRule | None:
+        """The first matching rule whose die roll fires, else ``None``."""
+        for index, rule in enumerate(self.rules):
+            if rule.kind != kind:
+                continue
+            if rule.stage is not None and rule.stage != stage:
+                continue
+            if rule.partition is not None and rule.partition != partition:
+                continue
+            if attempt > rule.max_attempt:
+                continue
+            if rule.probability >= 1.0 or (
+                _unit_interval(self.seed, index, kind, stage, partition, attempt)
+                < rule.probability
+            ):
+                return rule
+        return None
+
+    def _note(self, kind: str, stage: int, partition: int, attempt: int) -> None:
+        with self._lock:
+            self.fired.append((kind, stage, partition, attempt))
+
+    def before_attempt(
+        self,
+        stage: int,
+        partition: int,
+        attempt: int,
+        *,
+        process_worker: bool = False,
+    ) -> tuple[int, float]:
+        """Apply delay/kill/error faults for one task attempt.
+
+        Returns ``(faults_injected, delay_seconds)`` for non-raising
+        faults; raising faults are counted by the attempt loop catching
+        them.  A firing ``worker_kill`` never returns on a process worker.
+        """
+        injected = 0
+        delayed = 0.0
+        rule = self.decide("delay", stage, partition, attempt)
+        if rule is not None and rule.delay_seconds > 0:
+            self._note("delay", stage, partition, attempt)
+            time.sleep(rule.delay_seconds)
+            injected += 1
+            delayed += rule.delay_seconds
+        if self.decide("worker_kill", stage, partition, attempt) is not None:
+            self._note("worker_kill", stage, partition, attempt)
+            if process_worker:
+                # A real worker death: the pool breaks, the driver salvages
+                # finished chunks and recomputes the rest from lineage.
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedWorkerLoss(
+                f"injected worker loss at stage {stage} partition {partition} "
+                f"attempt {attempt}",
+                site=f"{stage}/{partition}/{attempt}",
+            )
+        if self.decide("task_error", stage, partition, attempt) is not None:
+            self._note("task_error", stage, partition, attempt)
+            raise InjectedFault(
+                f"injected task error at stage {stage} partition {partition} "
+                f"attempt {attempt}",
+                site=f"{stage}/{partition}/{attempt}",
+            )
+        return injected, delayed
+
+    def corrupt_read(self, path: "str | Path", raw: bytes) -> bytes:
+        """Possibly mangle a block file's bytes (``corrupt_read`` rules).
+
+        The per-rule read counter plays the role ``attempt`` plays for the
+        other kinds: with the default ``max_attempt=1`` only the first
+        read of each file (per worker process) is corrupted, so the retry
+        loop's re-read always recovers.
+        """
+        name = Path(path).name
+        for index, rule in enumerate(self.rules):
+            if rule.kind != "corrupt_read":
+                continue
+            if rule.path is not None and rule.path not in str(path):
+                continue
+            with self._lock:
+                count = self._read_counts.get((index, name), 0) + 1
+                self._read_counts[(index, name)] = count
+            if count > rule.max_attempt:
+                continue
+            if rule.probability >= 1.0 or (
+                _unit_interval(self.seed, index, "corrupt_read", name)
+                < rule.probability
+            ):
+                self._note("corrupt_read", -1, -1, count)
+                return corrupt_bytes(raw)
+        return raw
+
+    # -- pickling (ships to process workers inside stage closures) ------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        # Worker-local mutable state starts fresh on the other side.
+        state["_read_counts"] = {}
+        state["fired"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = Lock()
+
+    def __repr__(self) -> str:
+        kinds = [r.kind for r in self.rules]
+        return f"FaultPlan(seed={self.seed}, rules={kinds})"

@@ -1,0 +1,114 @@
+"""The unified retry policy.
+
+One object answers every "should we try again, and when?" question the
+engine used to answer ad hoc: per-task attempt caps (previously
+``max_task_retries`` threaded loose through backends), exponential backoff
+with deterministic jitter, a wall-clock retry deadline, and a shared
+per-stage budget of failed attempts (so a stage-wide fault storm aborts
+early instead of burning ``partitions × max_attempts`` retries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry knobs applied by the shared attempt loop on every backend.
+
+    Parameters
+    ----------
+    max_attempts:
+        Per-task attempt cap — Spark's ``spark.task.maxFailures`` analog
+        and the successor of ``EngineContext(max_task_retries=...)``.
+    backoff_seconds:
+        Sleep before the first retry; 0 (the default) disables backoff
+        entirely, preserving the engine's historical retry-immediately
+        behavior (and keeping test suites fast).
+    backoff_multiplier / backoff_max_seconds:
+        Exponential growth of the backoff, capped.
+    jitter_fraction:
+        Spread each backoff by ``±fraction`` — *deterministically*, hashed
+        from (seed, partition, retry index), because a wall-clock- or
+        ``random``-seeded jitter would make chaos runs unreproducible.
+    retry_deadline_seconds:
+        Total wall-clock allowance for one task's attempts (first included);
+        when exceeded, the task aborts even with attempts left.
+    stage_attempt_budget:
+        Shared cap on *failed* attempts across all tasks of one stage.
+        On the process backend each worker meters its own chunk against
+        the budget (no cross-process counter), so the cap is per-executor
+        there — still a bound, just a looser one.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 30.0
+    jitter_fraction: float = 0.0
+    retry_deadline_seconds: float | None = None
+    stage_attempt_budget: int | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if self.retry_deadline_seconds is not None and self.retry_deadline_seconds <= 0:
+            raise ValueError("retry_deadline_seconds must be positive")
+        if self.stage_attempt_budget is not None and self.stage_attempt_budget < 1:
+            raise ValueError("stage_attempt_budget must be positive")
+
+    def delay_before_retry(self, retry_index: int, partition: int = 0) -> float:
+        """Backoff (seconds) before the ``retry_index``-th retry (1-based)."""
+        if self.backoff_seconds <= 0 or retry_index < 1:
+            return 0.0
+        delay = min(
+            self.backoff_seconds * self.backoff_multiplier ** (retry_index - 1),
+            self.backoff_max_seconds,
+        )
+        if self.jitter_fraction > 0:
+            from repro.engine.faults.plan import _unit_interval
+
+            spread = 2.0 * _unit_interval(0, "jitter", partition, retry_index) - 1.0
+            delay *= 1.0 + self.jitter_fraction * spread
+        return max(0.0, delay)
+
+    def new_stage_budget(self) -> "RetryBudget | None":
+        """A fresh shared budget for one stage, or ``None`` when uncapped."""
+        if self.stage_attempt_budget is None:
+            return None
+        return RetryBudget(self.stage_attempt_budget)
+
+
+class RetryBudget:
+    """Thread-safe counter of failed attempts shared across a stage's tasks."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+        self._lock = Lock()
+
+    def consume(self) -> bool:
+        """Charge one failed attempt; ``False`` once the budget is blown."""
+        with self._lock:
+            self.used += 1
+            return self.used <= self.limit
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = Lock()
+
+    def __repr__(self) -> str:
+        return f"RetryBudget(used={self.used}, limit={self.limit})"

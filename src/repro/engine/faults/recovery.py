@@ -1,0 +1,49 @@
+"""Recovery configuration: lost-partition recomputation and degradation.
+
+The actual recovery loop lives in ``EngineContext.run_stage`` (it needs
+the context's locks, tracer, and backend ownership); this module holds
+its policy surface and the backend demotion ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Graceful-degradation order: after repeated worker loss the engine
+#: demotes the context's backend one rung at a time.  Sequential is the
+#: floor — nothing left to lose but the driver.
+DEMOTION_LADDER = {"process": "thread", "thread": "sequential"}
+
+
+@dataclass(frozen=True)
+class RecoveryOptions:
+    """Knobs for the engine's stage-recovery loop.
+
+    Parameters
+    ----------
+    max_stage_recoveries:
+        How many worker-loss recovery rounds one stage may consume before
+        the engine gives up and surfaces the loss.  Each round recomputes
+        only the partitions whose outcomes were lost (lineage
+        recomputation, not a whole-stage re-run).
+    demote_after_worker_losses:
+        Cumulative worker losses (across the context's lifetime) after
+        which the backend is demoted along :data:`DEMOTION_LADDER`.
+    demote:
+        Master switch for the demotion ladder.
+    """
+
+    max_stage_recoveries: int = 4
+    demote_after_worker_losses: int = 2
+    demote: bool = True
+
+    def __post_init__(self):
+        if self.max_stage_recoveries < 0:
+            raise ValueError("max_stage_recoveries must be non-negative")
+        if self.demote_after_worker_losses < 1:
+            raise ValueError("demote_after_worker_losses must be positive")
+
+
+def demotion_target(backend_name: str) -> str | None:
+    """The next rung down from ``backend_name``, or ``None`` at the floor."""
+    return DEMOTION_LADDER.get(backend_name)

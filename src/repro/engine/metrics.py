@@ -39,6 +39,11 @@ class TaskMetrics:
     #: ``elapsed_seconds`` this replays the task as a trace-timeline span —
     #: the only worker→driver channel the tracer needs on any backend.
     started_wall: float = 0.0
+    #: Faults fired by an active FaultPlan during this task's attempts,
+    #: and the injected straggler-delay they added — kept separate from
+    #: organic failures so chaos runs stay auditable.
+    injected_faults: int = 0
+    injected_delay_seconds: float = 0.0
 
 
 @dataclass
@@ -60,6 +65,12 @@ class JobMetrics:
     stages: int = 0
     speculative_launched: int = 0
     speculative_wins: int = 0
+    #: Recovery accounting (fault-tolerance layer).  Deliberately NOT part
+    #: of :meth:`snapshot`: snapshots compare counted *work* across
+    #: backends, and worker loss / demotion are environmental events.
+    worker_losses: int = 0
+    backend_demotions: int = 0
+    partitions_recomputed: int = 0
 
     def record_task(self, task: TaskMetrics) -> None:
         """Append one finished task's metrics."""
@@ -100,6 +111,20 @@ class JobMetrics:
         """Attempts that raised — the retry volume."""
         return sum(t.failed_attempts for t in self.tasks) + sum(
             t.failed_attempts for t in self.failed_tasks
+        )
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults fired by an active FaultPlan across all tasks."""
+        return sum(t.injected_faults for t in self.tasks) + sum(
+            t.injected_faults for t in self.failed_tasks
+        )
+
+    @property
+    def injected_delay_seconds(self) -> float:
+        """Straggler-delay seconds injected by an active FaultPlan."""
+        return sum(t.injected_delay_seconds for t in self.tasks) + sum(
+            t.injected_delay_seconds for t in self.failed_tasks
         )
 
     @property
@@ -165,6 +190,9 @@ class JobMetrics:
         self.stages = 0
         self.speculative_launched = 0
         self.speculative_wins = 0
+        self.worker_losses = 0
+        self.backend_demotions = 0
+        self.partitions_recomputed = 0
 
     def snapshot(self) -> dict:
         """A plain-dict summary convenient for benchmark reports.

@@ -28,8 +28,12 @@ class LoadStats:
     ``records_loaded`` is what Figure 5c/d plot as "memory loaded".
     ``partitions_selected`` is known at :meth:`StDataset.read` time (how
     many partitions survived metadata pruning), while ``partitions_read``
-    counts the block files actually deserialized so far — they converge
-    once every partition has been computed.
+    counts the *distinct* block files deserialized so far — they converge
+    once every partition has been computed, and lineage recomputation
+    (retries, a second shuffle pass, post-demotion re-evaluation) never
+    double-counts a block.  ``partitions_quarantined``
+    counts corrupt block files skipped under ``on_corrupt="quarantine"``
+    (the graceful-degradation alternative to aborting the load).
     """
 
     partitions_total: int = 0
@@ -38,10 +42,22 @@ class LoadStats:
     records_loaded: int = 0
     bytes_read: int = 0
     files: list[str] = field(default_factory=list)
+    partitions_quarantined: int = 0
+    quarantined_files: list[str] = field(default_factory=list)
 
 
 class _DiskPartitionRDD(RDD):
-    """Source RDD whose partitions deserialize lazily from block files."""
+    """Source RDD whose partitions deserialize lazily from block files.
+
+    ``on_corrupt`` decides what an undecodable block does: ``"raise"``
+    (the default) surfaces :class:`~repro.engine.errors.CorruptPartitionError`
+    through the retry loop, ``"quarantine"`` skips the block — an empty
+    partition — and counts it in ``LoadStats.partitions_quarantined``.
+    An active fault plan's ``corrupt_read`` rules mangle the bytes *in
+    memory* after a clean read, so injected corruption is transient: the
+    retry's re-read recovers, and quarantine stays reserved for genuinely
+    bad on-disk blocks.
+    """
 
     def __init__(
         self,
@@ -49,11 +65,15 @@ class _DiskPartitionRDD(RDD):
         directory: Path,
         metas: list[PartitionMeta],
         stats: LoadStats,
+        codec: str = "tuple",
+        on_corrupt: str = "raise",
     ):
         super().__init__(ctx, max(1, len(metas)))
         self._directory = directory
         self._metas = metas
         self._stats = stats
+        self._codec = codec
+        self._on_corrupt = on_corrupt
 
     def _compute(self, split: int) -> list:
         if not self._metas:
@@ -61,11 +81,39 @@ class _DiskPartitionRDD(RDD):
         meta = self._metas[split]
         path = self._directory / meta.filename
         raw = path.read_bytes()
-        records = pickle.loads(raw)
-        self._stats.partitions_read += 1
-        self._stats.records_loaded += len(records)
-        self._stats.bytes_read += len(raw)
-        self._stats.files.append(meta.filename)
+        plan = getattr(self.ctx, "fault_plan", None)
+        if plan is not None:
+            mangled = plan.corrupt_read(path, raw)
+            if mangled is not raw:
+                from repro.engine.errors import InjectedFault
+
+                # Raise instead of decoding garbage: the retry loop's
+                # re-read sees the (clean) on-disk bytes and recovers.
+                raise InjectedFault(
+                    f"injected corrupt read of {meta.filename}",
+                    site=meta.filename,
+                )
+        try:
+            records = pickle.loads(raw)
+        except Exception as exc:
+            from repro.engine.errors import CorruptPartitionError
+
+            if self._on_corrupt == "quarantine":
+                self._stats.partitions_quarantined += 1
+                self._stats.quarantined_files.append(meta.filename)
+                return []
+            raise CorruptPartitionError(meta.filename, repr(exc)) from exc
+        if meta.filename not in self._stats.files:
+            # Dedupe on filename: lineage recomputation (a second shuffle
+            # pass, a retry, a post-demotion re-evaluation) re-reads the
+            # same block, but "memory loaded" — the Figure 5 currency —
+            # counts each block once, identically on every backend.
+            self._stats.partitions_read += 1
+            self._stats.records_loaded += len(records)
+            self._stats.bytes_read += len(raw)
+            self._stats.files.append(meta.filename)
+        if self._codec == "pickle":
+            return list(records)
         return [decode_record(r) for r in records]
 
     def __getstate__(self):
@@ -73,14 +121,16 @@ class _DiskPartitionRDD(RDD):
         # worker-side, where mutations of the driver's LoadStats are
         # invisible.  Account for the whole read now, from metadata — exact,
         # since block count and file size equal what _compute observes.
-        # Skip when the driver already read the blocks itself (e.g. shuffle
-        # pre-materialization ran the map stage inline before shipping).
-        if self._stats.partitions_read == 0:
-            for meta in self._metas:
-                self._stats.partitions_read += 1
-                self._stats.records_loaded += meta.count
-                self._stats.bytes_read += (self._directory / meta.filename).stat().st_size
-                self._stats.files.append(meta.filename)
+        # Per-file dedupe (not an all-or-nothing guard): after a backend
+        # demotion mid-job, some blocks may already have been read — and
+        # accounted — driver-side.
+        for meta in self._metas:
+            if meta.filename in self._stats.files:
+                continue
+            self._stats.partitions_read += 1
+            self._stats.records_loaded += meta.count
+            self._stats.bytes_read += (self._directory / meta.filename).stat().st_size
+            self._stats.files.append(meta.filename)
         return dict(self.__dict__)
 
 
@@ -99,6 +149,43 @@ class StDataset:
 
     # -- writing ------------------------------------------------------------------
 
+    @staticmethod
+    def _encode_block(records: Sequence, codec: str) -> bytes:
+        """One partition's on-disk bytes under ``codec``.
+
+        ``"tuple"`` routes through :func:`~repro.stio.formats.encode_record`
+        (compact, schema-checked); ``"pickle"`` stores records verbatim —
+        lossless for anything picklable, which is what checkpoints need
+        (replica flags, partial collective instances).
+        """
+        if codec == "pickle":
+            encoded: list = list(records)
+        elif codec == "tuple":
+            encoded = [encode_record(r) for r in records]
+        else:
+            raise ValueError(f"unknown block codec {codec!r}")
+        return pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def _block_bounds(
+        records: Sequence,
+        boundaries: Sequence[STBox] | None,
+        index: int,
+        codec: str,
+    ) -> STBox:
+        if records:
+            if codec == "pickle":
+                # Checkpoint payloads may not expose st_box (partial
+                # collective instances); pruning is off for them anyway.
+                try:
+                    return STBox.merge_all([r.st_box() for r in records])
+                except Exception:
+                    return STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+            return STBox.merge_all([r.st_box() for r in records])
+        if boundaries is not None and index < len(boundaries):
+            return boundaries[index]
+        return STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+
     @classmethod
     def write(
         cls,
@@ -106,6 +193,7 @@ class StDataset:
         partitions: Sequence[Sequence[Instance]],
         instance_type: str,
         boundaries: Sequence[STBox] | None = None,
+        codec: str = "tuple",
     ) -> "StDataset":
         """Persist partition lists and build the metadata index.
 
@@ -119,18 +207,12 @@ class StDataset:
         metas = []
         for i, records in enumerate(partitions):
             filename = cls.BLOCK_PATTERN.format(i)
-            encoded = [encode_record(r) for r in records]
-            (directory / filename).write_bytes(
-                pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
-            )
-            if records:
-                bounds = STBox.merge_all([r.st_box() for r in records])
-            elif boundaries is not None and i < len(boundaries):
-                bounds = boundaries[i]
-            else:
-                bounds = STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+            (directory / filename).write_bytes(cls._encode_block(records, codec))
+            bounds = cls._block_bounds(records, boundaries, i, codec)
             metas.append(PartitionMeta(filename=filename, count=len(records), bounds=bounds))
-        DatasetMetadata(instance_type=instance_type, partitions=metas).save(directory)
+        DatasetMetadata(
+            instance_type=instance_type, partitions=metas, codec=codec
+        ).save(directory)
         return cls(directory)
 
     @classmethod
@@ -175,21 +257,19 @@ class StDataset:
         new_metas = []
         for i, records in enumerate(partitions):
             filename = self.BLOCK_PATTERN.format(offset + i)
-            encoded = [encode_record(r) for r in records]
             (self.directory / filename).write_bytes(
-                pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+                self._encode_block(records, existing.codec)
             )
-            if records:
-                bounds = STBox.merge_all([r.st_box() for r in records])
-            elif boundaries is not None and i < len(boundaries):
-                bounds = boundaries[i]
-            else:
-                bounds = STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+            bounds = self._block_bounds(records, boundaries, i, existing.codec)
             new_metas.append(
                 PartitionMeta(filename=filename, count=len(records), bounds=bounds)
             )
         merged = existing.merged_with(
-            DatasetMetadata(instance_type=existing.instance_type, partitions=new_metas)
+            DatasetMetadata(
+                instance_type=existing.instance_type,
+                partitions=new_metas,
+                codec=existing.codec,
+            )
         )
         merged.save(self.directory)
         return self
@@ -220,14 +300,20 @@ class StDataset:
         spatial: Envelope | None = None,
         temporal: Duration | None = None,
         use_metadata: bool = True,
+        on_corrupt: str = "raise",
     ) -> tuple[RDD, LoadStats]:
         """A lazy RDD over the partitions that may contain matching data.
 
         ``use_metadata=False`` loads everything — the "native Spark" mode
         Figure 5 compares against.  The returned RDD still needs in-memory
         fine-grained filtering (step (3) of Figure 4); the Selector does
-        that with per-partition R-trees.
+        that with per-partition R-trees.  ``on_corrupt="quarantine"``
+        degrades gracefully on undecodable block files: the partition
+        loads empty and ``LoadStats.partitions_quarantined`` counts it,
+        instead of the default :class:`~repro.engine.errors.CorruptPartitionError`.
         """
+        if on_corrupt not in ("raise", "quarantine"):
+            raise ValueError("on_corrupt must be 'raise' or 'quarantine'")
         meta = self.metadata()
         if use_metadata:
             selected = meta.select_partitions(spatial, temporal)
@@ -237,7 +323,10 @@ class StDataset:
             partitions_total=len(meta.partitions),
             partitions_selected=len(selected),
         )
-        return _DiskPartitionRDD(ctx, self.directory, selected, stats), stats
+        rdd = _DiskPartitionRDD(
+            ctx, self.directory, selected, stats, codec=meta.codec, on_corrupt=on_corrupt
+        )
+        return rdd, stats
 
 
 def save_dataset(
@@ -260,6 +349,7 @@ def load_dataset(
     spatial: Envelope | None = None,
     temporal: Duration | None = None,
     use_metadata: bool = True,
+    on_corrupt: str = "raise",
 ) -> tuple[RDD, LoadStats]:
     """Convenience reader; see :meth:`StDataset.read`."""
-    return StDataset(directory).read(ctx, spatial, temporal, use_metadata)
+    return StDataset(directory).read(ctx, spatial, temporal, use_metadata, on_corrupt)

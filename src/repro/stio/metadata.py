@@ -65,11 +65,20 @@ class PartitionMeta:
 
 @dataclass
 class DatasetMetadata:
-    """The whole metadata file: format info + per-partition boundaries."""
+    """The whole metadata file: format info + per-partition boundaries.
+
+    ``codec`` names how block files encode records: ``"tuple"`` (the
+    compact format of :mod:`repro.stio.formats`, the default) or
+    ``"pickle"`` (records pickled as-is — used by pipeline checkpoints,
+    whose phase outputs include replica-flagged and partial collective
+    instances the tuple format cannot round-trip).  Absent in older
+    metadata files, which are all tuple-encoded.
+    """
 
     instance_type: str
     partitions: list[PartitionMeta]
     version: int = FORMAT_VERSION
+    codec: str = "tuple"
 
     @property
     def total_records(self) -> int:
@@ -92,6 +101,7 @@ class DatasetMetadata:
         payload = {
             "version": self.version,
             "instance_type": self.instance_type,
+            "codec": self.codec,
             "partitions": [p.to_dict() for p in self.partitions],
         }
         path.write_text(json.dumps(payload, indent=1))
@@ -119,6 +129,7 @@ class DatasetMetadata:
             instance_type=payload["instance_type"],
             partitions=[PartitionMeta.from_dict(d) for d in payload["partitions"]],
             version=payload["version"],
+            codec=payload.get("codec", "tuple"),
         )
 
     def merged_with(self, other: "DatasetMetadata") -> "DatasetMetadata":
@@ -126,7 +137,10 @@ class DatasetMetadata:
         the periodic-append workflow of Section 4.1's discussion point (2)."""
         if other.instance_type != self.instance_type:
             raise ValueError("cannot merge metadata of different instance types")
+        if other.codec != self.codec:
+            raise ValueError("cannot merge metadata of different block codecs")
         return DatasetMetadata(
             instance_type=self.instance_type,
             partitions=self.partitions + other.partitions,
+            codec=self.codec,
         )

@@ -1,0 +1,42 @@
+"""Documentation stays executable — tier-1 guard over ``tools/check_docs.py``.
+
+Every fenced ```python block in the README and ``docs/*.md`` must run
+top to bottom, and every relative link / inline-code repo path must
+resolve.  The CI docs job runs the same checker standalone; this test
+keeps the contract inside the ordinary pytest tier as well.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+
+def test_doc_corpus_is_nonempty():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "api_guide.md", "architecture.md",
+            "fault_tolerance.md", "reproduction_notes.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_links_resolve(path):
+    failures = check_docs.check_links(path)
+    assert not failures, "\n".join(str(f) for f in failures)
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_python_blocks_execute(path):
+    failures = check_docs.check_exec(path)
+    assert not failures, "\n".join(str(f) for f in failures)

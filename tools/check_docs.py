@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Executable-documentation checker.
+
+Two independent checks over markdown files:
+
+* ``--exec``  — every fenced ```python block runs, top to bottom, in one
+  shared namespace per file (so later snippets may build on earlier ones,
+  exactly as a reader executing the guide would).  Each file executes in
+  its own temporary working directory: snippets that write ``data/...``
+  stay out of the repo tree.
+* ``--links`` — every relative markdown link target and every
+  repo-path-shaped reference in inline code (``src/...``, ``docs/...``,
+  ``examples/...``, ``tools/...``, ``tests/...``, ``benchmarks/...``)
+  must exist on disk, so the docs can't drift stale against the tree.
+
+With neither flag, both checks run.  Exit status 1 on any failure.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+    python tools/check_docs.py --links README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import re
+import sys
+import tempfile
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ```python ... ``` fences (tag must be exactly "python"; ``bash``/``text``
+#: blocks are never executed).
+_FENCE = re.compile(r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.M | re.S)
+#: [text](target) markdown links; images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Repo paths quoted as inline code, e.g. `examples/quickstart.py`.
+_CODE_PATH = re.compile(
+    r"`((?:src|docs|examples|tools|tests|benchmarks)/[A-Za-z0-9_./-]+)`"
+)
+
+
+@dataclass
+class Failure:
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """(1-based start line, source) for every fenced python block."""
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start(1)) + 1
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def check_exec(path: Path) -> list[Failure]:
+    """Run the file's python blocks sequentially in a shared namespace."""
+    text = path.read_text()
+    blocks = python_blocks(text)
+    if not blocks:
+        return []
+    namespace: dict = {"__name__": f"docs:{path.name}"}
+    failures = []
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix=f"docs-{path.stem}-") as scratch:
+        os.chdir(scratch)
+        try:
+            for line, source in blocks:
+                try:
+                    code = compile(source, f"{path}:{line}", "exec")
+                    # Swallow snippet prints; errors are what we report.
+                    with open(os.devnull, "w") as sink, contextlib.redirect_stdout(sink):
+                        exec(code, namespace)  # noqa: S102 - the point of the tool
+                except Exception:
+                    detail = traceback.format_exc(limit=-1).strip().splitlines()[-1]
+                    failures.append(Failure(path, line, f"block failed: {detail}"))
+                    break  # later blocks depend on this namespace; stop here
+        finally:
+            os.chdir(cwd)
+    return failures
+
+
+def check_links(path: Path) -> list[Failure]:
+    """Verify relative link targets and inline-code repo paths exist."""
+    failures = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        targets = [t for t in _LINK.findall(line)] + _CODE_PATH.findall(line)
+        for target in targets:
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            clean = target.split("#")[0]
+            if not clean:
+                continue
+            # Relative to the file's directory, falling back to repo root
+            # (inline-code paths are written repo-relative by convention).
+            if (path.parent / clean).exists() or (REPO_ROOT / clean).exists():
+                continue
+            failures.append(Failure(path, lineno, f"dead path reference: {target}"))
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path)
+    parser.add_argument("--exec", dest="run_exec", action="store_true")
+    parser.add_argument("--links", dest="run_links", action="store_true")
+    args = parser.parse_args(argv)
+    run_exec = args.run_exec or not (args.run_exec or args.run_links)
+    run_links = args.run_links or not (args.run_exec or args.run_links)
+
+    failures: list[Failure] = []
+    checked_blocks = 0
+    for path in args.paths:
+        if not path.exists():
+            failures.append(Failure(path, 0, "no such file"))
+            continue
+        if run_links:
+            failures.extend(check_links(path))
+        if run_exec:
+            checked_blocks += len(python_blocks(path.read_text()))
+            failures.extend(check_exec(path))
+
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if run_exec:
+        print(f"executed {checked_blocks} python block(s) across {len(args.paths)} file(s)")
+    if failures:
+        print(f"{len(failures)} documentation failure(s)", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
