@@ -1,0 +1,174 @@
+"""Serve-daemon warm-vs-cold benchmark (``BENCH_serve.json``).
+
+Measures what residency buys: a round of distinct ST-range queries
+against a freshly started ``repro serve`` daemon (cold — every query
+decodes blocks, builds selection indexes, and runs the filter) followed
+by the identical round again (warm — answers come from the server-wide
+result cache; the index and block tiers are also hot).  Latencies are
+client-observed over the real socket protocol, so the speedup is what a
+caller would see.
+
+Every warm answer is cross-checked byte-for-byte against its cold
+counterpart, and the run fails (exit 1) unless the warm round recorded
+result-cache hits and a lower median latency — the regression guard the
+acceptance criteria ask for.
+
+Run the full-size record (50k events)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+CI smoke (small n)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.datasets import generate_nyc_events  # noqa: E402
+from repro.datasets.common import EPOCH_2013  # noqa: E402
+from repro.partitioners import TSTRPartitioner  # noqa: E402
+from repro.serve import (  # noqa: E402
+    QueryServer,
+    ServeClient,
+    ServeConfig,
+    result_document,
+    wait_until_ready,
+)
+from repro.stio import save_dataset  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Distinct NYC-band query rectangles — enough spread that each cold query
+#: touches different partitions, so the cold round is honest about index
+#: builds rather than riding the first query's warmup.
+QUERIES = [
+    {"bbox": [-74.02, 40.60, -73.96, 40.70], "time": [EPOCH_2013, EPOCH_2013 + 10 * 86_400.0]},
+    {"bbox": [-74.00, 40.70, -73.92, 40.78], "time": [EPOCH_2013, EPOCH_2013 + 20 * 86_400.0]},
+    {"bbox": [-73.98, 40.64, -73.90, 40.74], "time": [EPOCH_2013 + 5 * 86_400.0, EPOCH_2013 + 25 * 86_400.0]},
+    {"bbox": [-74.03, 40.66, -73.94, 40.76], "time": [EPOCH_2013, EPOCH_2013 + 30 * 86_400.0]},
+    {"bbox": [-73.99, 40.61, -73.93, 40.69], "time": [EPOCH_2013 + 2 * 86_400.0, EPOCH_2013 + 12 * 86_400.0]},
+    {"bbox": [-74.01, 40.72, -73.95, 40.79], "time": [EPOCH_2013, EPOCH_2013 + 15 * 86_400.0]},
+]
+
+
+def run_round(client: ServeClient, queries: list[dict]) -> tuple[list[float], list[str]]:
+    """One pass over ``queries``; returns (latencies_s, result documents)."""
+    latencies, documents = [], []
+    for query in queries:
+        start = time.perf_counter()
+        response = client.query(bbox=query["bbox"], time_range=query["time"])
+        latencies.append(time.perf_counter() - start)
+        if response.get("status") != "ok":
+            raise RuntimeError(f"query failed: {response}")
+        documents.append(result_document(response))
+    return latencies, documents
+
+
+def summarize(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "median_ms": round(statistics.median(latencies) * 1e3, 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+        "total_ms": round(sum(latencies) * 1e3, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="event count")
+    parser.add_argument("--workers", type=int, default=4, help="daemon query workers")
+    parser.add_argument("--smoke", action="store_true", help="small-n CI mode")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serve.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 8_000)
+
+    print(f"[bench-serve] generating {args.n} events", flush=True)
+    events = generate_nyc_events(args.n, seed=101, days=30)
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        dataset = Path(tmp) / "nyc"
+        save_dataset(dataset, events, "event", partitioner=TSTRPartitioner(4, 4))
+
+        server = QueryServer(dataset, ServeConfig(workers=args.workers))
+        host, port = server.start()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            wait_until_ready(host, port)
+            with ServeClient(host, port) as client:
+                cold, cold_docs = run_round(client, QUERIES)
+                warm, warm_docs = run_round(client, QUERIES)
+            cache = server.result_cache.snapshot()
+        finally:
+            server.stop()
+            thread.join(timeout=5)
+
+    if warm_docs != cold_docs:
+        print("[bench-serve] FAIL: warm answers differ from cold answers")
+        return 1
+
+    cold_stats, warm_stats = summarize(cold), summarize(warm)
+    speedup = round(cold_stats["median_ms"] / max(warm_stats["median_ms"], 1e-6), 2)
+    report = {
+        "meta": {
+            "n": args.n,
+            "queries": len(QUERIES),
+            "workers": args.workers,
+            "smoke": args.smoke,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "results": {
+            "cold": cold_stats,
+            "warm": warm_stats,
+            "median_speedup": speedup,
+            "result_cache": {
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "bytes": cache["bytes"],
+            },
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"  cold  median {cold_stats['median_ms']:9.2f}ms  "
+        f"mean {cold_stats['mean_ms']:9.2f}ms"
+    )
+    print(
+        f"  warm  median {warm_stats['median_ms']:9.2f}ms  "
+        f"mean {warm_stats['mean_ms']:9.2f}ms"
+    )
+    print(
+        f"  median speedup {speedup}x  "
+        f"(result cache: {cache['hits']} hits / {cache['misses']} misses)"
+    )
+    print(f"[bench-serve] wrote {args.out}")
+
+    if cache["hits"] < len(QUERIES):
+        print("[bench-serve] FAIL: warm round did not hit the result cache")
+        return 1
+    if warm_stats["median_ms"] >= cold_stats["median_ms"]:
+        print("[bench-serve] FAIL: warm median not below cold median")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

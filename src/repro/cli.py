@@ -9,7 +9,13 @@ surface a data engineer needs without writing code:
 * ``index``    — T-STR-partition an existing dataset and (re)build its
   on-disk metadata index;
 * ``select``   — run a metadata-pruned ST range selection and report the
-  pruning statistics;
+  pruning statistics (``--format json`` emits the canonical result
+  document the serve protocol also uses);
+* ``serve``    — long-lived query daemon over a dataset: resident
+  metadata/blocks/indexes, a server-wide result cache, per-tenant
+  admission control with explicit load shedding (see :mod:`repro.serve`);
+* ``query``    — thin client for a running daemon (also ``--stats`` /
+  ``--ping`` / ``--shutdown``);
 * ``info``     — print a dataset's metadata summary;
 * ``lint``     — static distributed-correctness checks on stage closures
   (see :mod:`repro.analysis`);
@@ -30,6 +36,8 @@ Usage::
     python -m repro.cli select data/nyc --bbox -74.0 40.6 -73.9 40.8 \
         --time 1356998400 1357603200
     python -m repro.cli --profile traces/select select data/nyc --bbox ...
+    python -m repro.cli serve data/nyc --port 7071 --tenant ml-team:100:40:16
+    python -m repro.cli query --port 7071 --bbox -74.0 40.6 -73.9 40.8 --format json
     python -m repro.cli lint src/ tests/ --format github
     python -m repro.cli --backend process trace examples/quickstart.py
     python -m repro.cli --backend process chaos examples/quickstart.py --parity
@@ -131,6 +139,15 @@ def _cmd_select(args: argparse.Namespace) -> int:
     selector = Selector(spatial, temporal)
     start = time.perf_counter()
     selected = selector.select(ctx, args.path, use_metadata=not args.full_scan)
+    if args.format == "json":
+        # The canonical result document — built by the same codec the
+        # serve protocol uses, so daemon answers are byte-for-byte
+        # comparable to this output.  Nothing else goes to stdout.
+        from repro.serve.protocol import records_document
+
+        print(records_document(selected.collect()))
+        ctx.stop()
+        return 0
     count = selected.count()
     elapsed = time.perf_counter() - start
     stats = selector.last_load_stats
@@ -142,6 +159,107 @@ def _cmd_select(args: argparse.Namespace) -> int:
             f"bytes read: {stats.bytes_read:,}"
         )
     ctx.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryServer, ServeConfig, TenantPolicy
+
+    tenants = {}
+    for spec in args.tenant or []:
+        try:
+            name, policy = TenantPolicy.from_spec(spec)
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+        tenants[name] = policy
+    default = TenantPolicy()
+    if args.default_tenant:
+        try:
+            _, default = TenantPolicy.from_spec(f"default:{args.default_tenant}")
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout=args.request_timeout,
+        cache_bytes=args.cache_bytes,
+        index_cache_bytes=args.index_cache_bytes,
+        default_tenant=default,
+        tenants=tenants,
+        allow_shutdown=not args.no_remote_shutdown,
+    )
+    ctx = _make_ctx(args)
+    server = QueryServer(args.path, config, ctx=ctx)
+    host, port = server.start()
+    meta = server.state.meta
+    print(
+        f"serving {args.path} ({meta.total_records:,} {meta.instance_type} "
+        f"records, {len(meta.partitions)} partitions, generation "
+        f"{meta.generation}) on {host}:{port} "
+        f"({args.backend} backend, {args.workers} query workers)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("serve: shut down cleanly")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import STATUS_OK, STATUS_SHED, ServeClient, ServeError
+    from repro.serve.protocol import result_document
+
+    try:
+        with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+            if args.ping:
+                print(json.dumps(client.ping(), indent=2, sort_keys=True))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print("daemon acknowledged shutdown")
+                return 0
+            if not args.bbox and not args.time:
+                print("query needs --bbox and/or --time", file=sys.stderr)
+                return 2
+            response = client.query(
+                bbox=args.bbox, time_range=args.time, priority=args.priority
+            )
+    except ServeError as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 1
+    status = response.get("status")
+    if status == STATUS_SHED:
+        print(
+            f"SHED ({response.get('reason')}) for tenant "
+            f"{response.get('tenant')!r}",
+            file=sys.stderr,
+        )
+        return 3
+    if status != STATUS_OK:
+        print(f"query: {response.get('error', response)}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        # Identical bytes to `repro select --format json` on the same range.
+        print(result_document(response))
+        return 0
+    print(
+        f"{response['count']:,} records (cached={response['cached']}, "
+        f"generation={response['generation']}, queue={response['queue_ms']}ms, "
+        f"exec={response['exec_ms']}ms)"
+    )
     return 0
 
 
@@ -405,7 +523,99 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--bbox", type=float, nargs=4, metavar=("MIN_X", "MIN_Y", "MAX_X", "MAX_Y"))
     sel.add_argument("--time", type=float, nargs=2, metavar=("START", "END"))
     sel.add_argument("--full-scan", action="store_true", help="bypass the metadata index")
+    sel.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json prints the canonical result document (the exact bytes "
+        "the serve protocol returns for the same range)",
+    )
     sel.set_defaults(func=_cmd_select)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived query daemon with admission control and caching",
+        description="Keeps the dataset's metadata, decoded blocks, "
+        "selection indexes, result cache, and execution workers resident, "
+        "answering concurrent ST-range queries over line-delimited JSON. "
+        "Overloaded tenants receive explicit SHED responses (token-bucket "
+        "rate limits, in-flight caps, bounded queue) — never silent drops. "
+        "--profile records every request as a span in the trace exports.",
+    )
+    serve.add_argument("path", type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="query worker threads (default 4)"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded execution queue depth; overflow sheds (default 64)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=60.0,
+        help="server-side seconds before an admitted request errors out",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=64 << 20,
+        help="result-cache byte budget (default 64 MiB)",
+    )
+    serve.add_argument(
+        "--index-cache-bytes", type=int, default=256 << 20,
+        help="selection-index cache byte budget (default 256 MiB)",
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME:RATE[:BURST[:INFLIGHT]]",
+        help="per-tenant admission policy (repeatable); RATE is tokens/sec "
+        "(0 = no refill: exactly BURST requests ever), BURST the bucket "
+        "size, INFLIGHT the concurrent-request cap",
+    )
+    serve.add_argument(
+        "--default-tenant",
+        metavar="RATE[:BURST[:INFLIGHT]]",
+        default=None,
+        help="admission policy for tenants not named by --tenant",
+    )
+    serve.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="reject the protocol's shutdown op (stop with SIGINT instead)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="query a running serve daemon",
+        description="Sends one ST-range query (or a control op) to a "
+        "daemon started with `repro serve`.  --format json prints the "
+        "same canonical result document as `repro select --format json`. "
+        "Exit code 3 means the request was shed.",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--tenant", default="default")
+    query.add_argument(
+        "--bbox", type=float, nargs=4, metavar=("MIN_X", "MIN_Y", "MAX_X", "MAX_Y")
+    )
+    query.add_argument("--time", type=float, nargs=2, metavar=("START", "END"))
+    query.add_argument(
+        "--priority", type=int, default=None,
+        help="queue priority (lower runs sooner; default 10)",
+    )
+    query.add_argument("--format", choices=("text", "json"), default="text")
+    query.add_argument(
+        "--stats", action="store_true", help="print the daemon's stats snapshot"
+    )
+    query.add_argument("--ping", action="store_true", help="liveness probe")
+    query.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to stop"
+    )
+    query.set_defaults(func=_cmd_query)
 
     info = sub.add_parser("info", help="print dataset metadata")
     info.add_argument("path", type=Path)

@@ -30,6 +30,7 @@ from repro._deps import has_numpy
 from repro.columnar.boxtable import BoxTable, intersects_box
 from repro.columnar.cache import (
     PartitionIndexCache,
+    configure_selection_cache,
     invalidate_partition_indexes,
     partition_boxtable,
     partition_packed_tree,
@@ -61,6 +62,7 @@ __all__ = [
     "PackedRTree",
     "PartitionIndexCache",
     "available",
+    "configure_selection_cache",
     "intersects_box",
     "invalidate_partition_indexes",
     "packed_tree_from_boxes",

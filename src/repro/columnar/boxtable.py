@@ -48,6 +48,19 @@ class BoxTable:
     def __len__(self) -> int:
         return len(self.rows)
 
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the table's own storage, in bytes.
+
+        Counts the six extent columns, the ``box_exact`` mask, and the
+        ``rows`` indirection list (8 bytes per reference).  The instances
+        themselves are *not* counted: they belong to the partition, which
+        outlives the table.  This is what byte-budgeted caches charge per
+        entry.
+        """
+        columns = (self.xmin, self.ymin, self.tmin, self.xmax, self.ymax, self.tmax)
+        return sum(int(c.nbytes) for c in columns) + int(self.box_exact.nbytes) + 8 * len(self.rows)
+
     @classmethod
     def from_instances(cls, instances: Sequence[Instance]) -> "BoxTable":
         """Extract the six extent columns in one pass over the partition."""

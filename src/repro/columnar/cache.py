@@ -27,17 +27,95 @@ from threading import Lock
 from typing import Any, Callable, Hashable
 
 
-class PartitionIndexCache:
-    """Bounded LRU of per-partition indexes with identity validation."""
+#: Flat byte charge for cached values that do not report ``nbytes``.
+_DEFAULT_ENTRY_COST = 256
 
-    def __init__(self, capacity: int = 64):
+
+def _value_nbytes(value: Any) -> int:
+    """Byte charge for one cached index value.
+
+    Every index the cache holds — :class:`~repro.columnar.boxtable.BoxTable`,
+    :class:`~repro.columnar.packed_rtree.PackedRTree`, the scalar
+    :class:`~repro.index.rtree.RTree` — reports its own footprint through
+    an ``nbytes`` attribute; anything else is charged a small flat cost so
+    the accounting never under-reports to zero.
+    """
+    size = getattr(value, "nbytes", None)
+    try:
+        return int(size) if size is not None else _DEFAULT_ENTRY_COST
+    except (TypeError, ValueError):
+        return _DEFAULT_ENTRY_COST
+
+
+class PartitionIndexCache:
+    """Bounded LRU of per-partition indexes with identity validation.
+
+    Two eviction knobs compose (either may be the binding one):
+
+    * ``capacity`` — maximum entry count, the original bound;
+    * ``max_bytes`` — maximum summed :func:`_value_nbytes` of the cached
+      values (``None`` means unbounded).  This is the knob that lets a
+      long-lived process — the ``repro serve`` daemon above all — enforce
+      a real memory budget rather than hoping 64 entries happen to fit.
+
+    Entries are evicted least-recently-used until both bounds hold; the
+    most recent entry is always kept, even when it alone exceeds
+    ``max_bytes`` — a cache that refuses the index it just built would
+    force an immediate rebuild on the very next query.
+    """
+
+    def __init__(self, capacity: int = 64, max_bytes: int | None = None):
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None)")
         self._capacity = capacity
+        self._max_bytes = max_bytes
         self._lock = Lock()
-        self._entries: "OrderedDict[tuple, tuple[list, Any]]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, tuple[list, Any, int]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum entry count."""
+        return self._capacity
+
+    @property
+    def max_bytes(self) -> int | None:
+        """Byte budget for cached values (``None`` = unbounded)."""
+        return self._max_bytes
+
+    def configure(
+        self, capacity: int | None = None, max_bytes: int | None | ellipsis = ...
+    ) -> None:
+        """Adjust the bounds in place (evicting immediately if needed).
+
+        ``capacity=None`` leaves the count bound unchanged; ``max_bytes``
+        uses ``...`` as the "unchanged" sentinel because ``None`` is a
+        meaningful value (unbounded).
+        """
+        with self._lock:
+            if capacity is not None:
+                if capacity < 1:
+                    raise ValueError("cache capacity must be positive")
+                self._capacity = capacity
+            if max_bytes is not ...:
+                if max_bytes is not None and max_bytes < 1:
+                    raise ValueError("max_bytes must be positive (or None)")
+                self._max_bytes = max_bytes
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > 1 and (
+            len(self._entries) > self._capacity
+            or (self._max_bytes is not None and self.bytes > self._max_bytes)
+        ):
+            _, (_, _, dropped) = self._entries.popitem(last=False)
+            self.bytes -= dropped
+            self.evictions += 1
 
     def get_or_build(
         self,
@@ -59,18 +137,22 @@ class PartitionIndexCache:
                 self.hits += 1
                 return entry[1], True
         value = builder(partition)
+        size = _value_nbytes(value)
         with self._lock:
             self.misses += 1
-            self._entries[key] = (partition, value)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.bytes -= previous[2]
+            self._entries[key] = (partition, value, size)
+            self.bytes += size
+            self._evict_locked()
         return value, False
 
     def clear(self) -> None:
         """Drop every entry (and the strong partition references)."""
         with self._lock:
             self._entries.clear()
+            self.bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -89,6 +171,18 @@ def selection_cache() -> PartitionIndexCache:
 def invalidate_partition_indexes() -> None:
     """Drop all cached per-partition indexes (called on repartition)."""
     _SELECTION_CACHE.clear()
+
+
+def configure_selection_cache(
+    capacity: int | None = None, max_bytes: int | None | ellipsis = ...
+) -> PartitionIndexCache:
+    """Rebound the process-wide selection-index cache; returns it.
+
+    The ``repro serve`` daemon calls this at startup to put the shared
+    index tier under an explicit byte budget.
+    """
+    _SELECTION_CACHE.configure(capacity=capacity, max_bytes=max_bytes)
+    return _SELECTION_CACHE
 
 
 def partition_rtree(partition: list, capacity: int = 32):

@@ -207,15 +207,23 @@ class EngineContext:
         n = max(1, min(n, max(1, len(items)))) if items else max(1, n)
         return RDD._from_collection(self, items, n)
 
-    def from_partitions(self, partitions: Sequence[list]):
+    def from_partitions(self, partitions: Sequence[list], copy: bool = True):
         """Build an RDD with an explicit pre-partitioned layout.
 
         Used by the on-disk reader, where the partition layout on disk *is*
-        the layout in memory (the point of Section 4.1).
+        the layout in memory (the point of Section 4.1).  ``copy=False``
+        adopts the caller's list objects as the partitions — for owners of
+        long-lived resident partitions (the serve daemon's block cache),
+        whose identity keys the per-partition selection-index cache; such
+        callers must not mutate the lists afterwards.
         """
         from repro.engine.rdd import RDD
 
-        return RDD._from_partitions(self, [list(p) for p in partitions])
+        if copy:
+            partitions = [list(p) for p in partitions]
+        elif not all(isinstance(p, list) for p in partitions):
+            partitions = [p if isinstance(p, list) else list(p) for p in partitions]
+        return RDD._from_partitions(self, list(partitions))
 
     def empty_rdd(self):
         """A single empty partition."""

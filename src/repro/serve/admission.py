@@ -1,0 +1,197 @@
+"""Per-tenant admission control: token buckets + in-flight caps.
+
+A tenant's budget has two independent dimensions:
+
+* **rate** — a token bucket refilled continuously at ``rate`` tokens/sec
+  up to ``burst``; each admitted request spends one token.  ``rate=0``
+  means no refill: the tenant gets exactly ``burst`` requests, ever —
+  degenerate in production but exactly what deterministic tests want.
+* **concurrency** — at most ``max_inflight`` requests admitted but not
+  yet completed (queued or executing).
+
+Rejections are *explicit*: the caller turns them into ``SHED`` responses
+carrying the reason (``rate_limit`` / ``max_inflight``), never silent
+drops.  The controller is deliberately below the transport: it knows
+tenant names and clocks, nothing about sockets or queues.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Callable
+
+#: Shed reasons the controller can produce (the queue adds "queue_full").
+REASON_RATE = "rate_limit"
+REASON_INFLIGHT = "max_inflight"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission budget."""
+
+    rate: float = 50.0
+    burst: float = 20.0
+    max_inflight: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> tuple[str, "TenantPolicy"]:
+        """Parse ``name:rate:burst:max_inflight`` (the CLI ``--tenant`` form).
+
+        Trailing fields may be omitted: ``name:rate`` and
+        ``name:rate:burst`` fill the rest with defaults.
+        """
+        parts = spec.split(":")
+        if not parts[0]:
+            raise ValueError(f"tenant spec needs a name: {spec!r}")
+        if len(parts) > 4:
+            raise ValueError(f"tenant spec has too many fields: {spec!r}")
+        defaults = cls()
+        try:
+            rate = float(parts[1]) if len(parts) > 1 and parts[1] else defaults.rate
+            burst = float(parts[2]) if len(parts) > 2 and parts[2] else defaults.burst
+            inflight = (
+                int(parts[3]) if len(parts) > 3 and parts[3] else defaults.max_inflight
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad tenant spec {spec!r}: {exc}") from exc
+        return parts[0], cls(rate=rate, burst=burst, max_inflight=inflight)
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (not thread-safe; callers lock)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if self.rate > 0:
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if available; False (and no spend) otherwise."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (refilled to now)."""
+        self._refill()
+        return self._tokens
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant admission accounting, reported by the ``stats`` op."""
+
+    admitted: int = 0
+    completed: int = 0
+    shed_rate: int = 0
+    shed_inflight: int = 0
+    inflight: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for JSON responses."""
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed_rate": self.shed_rate,
+            "shed_inflight": self.shed_inflight,
+            "inflight": self.inflight,
+        }
+
+
+class AdmissionController:
+    """Admit or shed requests per tenant; thread-safe.
+
+    Tenants not named in ``tenants`` are admitted under ``default`` —
+    every caller gets *a* budget, so one unknown tenant cannot starve the
+    named ones.  Buckets and in-flight counters are per tenant name.
+    """
+
+    def __init__(
+        self,
+        default: TenantPolicy | None = None,
+        tenants: dict[str, TenantPolicy] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default = default if default is not None else TenantPolicy()
+        self._policies = dict(tenants or {})
+        self._clock = clock
+        self._lock = Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._stats: dict[str, TenantStats] = {}
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy (the default for unknown tenants)."""
+        return self._policies.get(tenant, self.default)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self.policy_for(tenant)
+            bucket = TokenBucket(policy.rate, policy.burst, self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _tenant_stats(self, tenant: str) -> TenantStats:
+        stats = self._stats.get(tenant)
+        if stats is None:
+            stats = TenantStats()
+            self._stats[tenant] = stats
+        return stats
+
+    def admit(self, tenant: str) -> str | None:
+        """Try to admit one request; returns ``None`` or a shed reason.
+
+        Admission takes the in-flight slot immediately — the caller MUST
+        pair every successful ``admit`` with exactly one :meth:`release`,
+        whatever happens to the request afterwards.
+        """
+        with self._lock:
+            stats = self._tenant_stats(tenant)
+            policy = self.policy_for(tenant)
+            if stats.inflight >= policy.max_inflight:
+                stats.shed_inflight += 1
+                return REASON_INFLIGHT
+            if not self._bucket(tenant).try_acquire():
+                stats.shed_rate += 1
+                return REASON_RATE
+            stats.admitted += 1
+            stats.inflight += 1
+            return None
+
+    def release(self, tenant: str) -> None:
+        """Complete one admitted request (frees its in-flight slot)."""
+        with self._lock:
+            stats = self._tenant_stats(tenant)
+            stats.inflight = max(0, stats.inflight - 1)
+            stats.completed += 1
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant stats as plain dicts (for the ``stats`` op)."""
+        with self._lock:
+            return {name: stats.snapshot() for name, stats in self._stats.items()}

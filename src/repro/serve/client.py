@@ -1,0 +1,156 @@
+"""A thin client for the serve protocol, used by ``repro query``.
+
+One TCP connection, line-delimited JSON both ways (see
+:mod:`repro.serve.protocol`).  The client is deliberately dumb: it frames
+requests, assigns ids, and decodes responses — interpretation (retry on
+SHED, parity checks, latency accounting) belongs to callers.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any
+
+from repro.serve.protocol import canonical_dumps
+
+
+class ServeError(RuntimeError):
+    """Transport-level failure talking to a serve daemon."""
+
+
+class ServeClient:
+    """Blocking client for one serve daemon connection.
+
+    Not thread-safe — one connection carries one request at a time
+    (concurrency tests open one client per thread, which also exercises
+    the server's connection handling).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant: str = "default",
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
+        self._next_id = 0
+
+    def connect(self) -> "ServeClient":
+        """Open the connection (idempotent); returns self for chaining."""
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+            self._wfile = sock.makefile("wb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        for closer in (self._rfile, self._wfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request, wait for its response line, decode it."""
+        self.connect()
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        line = canonical_dumps(payload)
+        try:
+            self._wfile.write(line.encode("utf-8") + b"\n")
+            self._wfile.flush()
+            raw = self._rfile.readline()
+        except OSError as exc:
+            self.close()
+            raise ServeError(f"connection to serve daemon failed: {exc}") from exc
+        if not raw:
+            self.close()
+            raise ServeError("serve daemon closed the connection")
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"malformed response from serve daemon: {exc}") from exc
+        if not isinstance(response, dict):
+            raise ServeError("serve daemon response is not a JSON object")
+        return response
+
+    def query(
+        self,
+        bbox: list | tuple | None = None,
+        time_range: list | tuple | None = None,
+        priority: int | None = None,
+        tenant: str | None = None,
+    ) -> dict:
+        """One ST-range query; returns the raw response dict (any status)."""
+        fields: dict[str, Any] = {"tenant": tenant or self.tenant}
+        if bbox is not None:
+            fields["bbox"] = list(bbox)
+        if time_range is not None:
+            fields["time"] = list(time_range)
+        if priority is not None:
+            fields["priority"] = int(priority)
+        return self.request("query", **fields)
+
+    def ping(self) -> dict:
+        """Liveness + protocol/generation probe."""
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        """The server's counters/caches/tenants/queue snapshot."""
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop (if it allows remote shutdown)."""
+        response = self.request("shutdown")
+        self.close()
+        return response
+
+
+def wait_until_ready(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> dict:
+    """Poll ``ping`` until the daemon answers; returns the ping response.
+
+    Raises :class:`ServeError` when the deadline passes — used by the
+    smoke tool and docs examples to avoid racing daemon startup.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        client = ServeClient(host, port, timeout=min(1.0, timeout))
+        try:
+            return client.ping()
+        except ServeError as exc:
+            last_error = exc
+            time.sleep(interval)
+        finally:
+            client.close()
+    raise ServeError(
+        f"serve daemon at {host}:{port} not ready after {timeout:.1f}s: {last_error}"
+    )

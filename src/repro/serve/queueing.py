@@ -1,0 +1,69 @@
+"""A bounded priority queue with explicit rejection (no silent drops).
+
+The serve daemon's execution queue: admission-passed requests wait here
+for a query worker.  Depth is bounded — a server melting down must say
+``SHED`` quickly, not buffer unboundedly and answer everything late — and
+``offer`` *returns* ``False`` when full instead of blocking or raising,
+so the transport layer can turn queue pressure into an explicit shed
+response.
+
+Ordering is by ``priority`` (lower first), FIFO within a priority via a
+monotonic sequence number — equal-priority tenants cannot starve each
+other, and heapq never compares the (incomparable) payloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from threading import Condition, Lock
+from typing import Any
+
+
+class BoundedPriorityQueue:
+    """Priority queue with a hard depth bound; thread-safe."""
+
+    def __init__(self, depth: int = 64):
+        if depth < 1:
+            raise ValueError("queue depth must be positive")
+        self.depth = depth
+        self._lock = Lock()
+        self._not_empty = Condition(self._lock)
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._closed = False
+        self.offered = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def offer(self, item: Any, priority: int = 0) -> bool:
+        """Enqueue if there is room; ``False`` (reject) when full/closed."""
+        with self._lock:
+            self.offered += 1
+            if self._closed or len(self._heap) >= self.depth:
+                self.rejected += 1
+                return False
+            heapq.heappush(self._heap, (priority, next(self._seq), item))
+            self.peak_depth = max(self.peak_depth, len(self._heap))
+            self._not_empty.notify()
+            return True
+
+    def take(self, timeout: float | None = None) -> Any | None:
+        """Dequeue the highest-priority item; ``None`` on timeout/close."""
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Reject future offers and wake every blocked :meth:`take`."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -13,7 +13,7 @@ from repro.geometry.envelope import Envelope
 from repro.index.boxes import STBox
 from repro.instances.base import Instance
 from repro.stio.formats import decode_record, encode_record
-from repro.stio.metadata import DatasetMetadata, PartitionMeta
+from repro.stio.metadata import METADATA_FILENAME, DatasetMetadata, PartitionMeta
 from repro.temporal.duration import Duration
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -204,6 +204,15 @@ class StDataset:
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        # Rewriting an existing dataset in place (re-index / repartition)
+        # is an edit like any other: continue its generation counter so
+        # long-lived readers keyed on it (the serve result cache) miss.
+        generation = 0
+        if (directory / METADATA_FILENAME).exists():
+            try:
+                generation = DatasetMetadata.load(directory).generation + 1
+            except (ValueError, FileNotFoundError):
+                generation = 1
         metas = []
         for i, records in enumerate(partitions):
             filename = cls.BLOCK_PATTERN.format(i)
@@ -211,7 +220,10 @@ class StDataset:
             bounds = cls._block_bounds(records, boundaries, i, codec)
             metas.append(PartitionMeta(filename=filename, count=len(records), bounds=bounds))
         DatasetMetadata(
-            instance_type=instance_type, partitions=metas, codec=codec
+            instance_type=instance_type,
+            partitions=metas,
+            codec=codec,
+            generation=generation,
         ).save(directory)
         return cls(directory)
 
@@ -293,6 +305,23 @@ class StDataset:
     def metadata(self) -> DatasetMetadata:
         """Load the dataset's metadata file."""
         return DatasetMetadata.load(self.directory)
+
+    def read_block(self, meta: PartitionMeta, codec: str | None = None) -> list:
+        """Eagerly read and decode one partition's block file.
+
+        The resident-block path of the ``repro serve`` daemon: unlike
+        :meth:`read` (a lazy RDD that re-reads and re-decodes per
+        evaluation), this returns a plain list the caller can keep — the
+        stable list identity is what lets the per-partition
+        selection-index cache hit across queries.  ``codec`` defaults to
+        the dataset's metadata codec.
+        """
+        if codec is None:
+            codec = self.metadata().codec
+        records = pickle.loads((self.directory / meta.filename).read_bytes())
+        if codec == "pickle":
+            return list(records)
+        return [decode_record(r) for r in records]
 
     def read(
         self,

@@ -73,12 +73,21 @@ class DatasetMetadata:
     whose phase outputs include replica-flagged and partial collective
     instances the tuple format cannot round-trip).  Absent in older
     metadata files, which are all tuple-encoded.
+
+    ``generation`` is a monotonically increasing edit counter for the
+    dataset *as a whole*: every append bumps it (see :meth:`merged_with`)
+    and so does rewriting an existing directory in place (a re-index /
+    repartition).  Long-lived readers — the ``repro serve`` daemon's
+    result cache above all — key cached answers on it, so an answer
+    computed against generation N can never be served once the data moved
+    to N+1.  Absent in older metadata files, which read as generation 0.
     """
 
     instance_type: str
     partitions: list[PartitionMeta]
     version: int = FORMAT_VERSION
     codec: str = "tuple"
+    generation: int = 0
 
     @property
     def total_records(self) -> int:
@@ -102,6 +111,7 @@ class DatasetMetadata:
             "version": self.version,
             "instance_type": self.instance_type,
             "codec": self.codec,
+            "generation": self.generation,
             "partitions": [p.to_dict() for p in self.partitions],
         }
         path.write_text(json.dumps(payload, indent=1))
@@ -130,6 +140,7 @@ class DatasetMetadata:
             partitions=[PartitionMeta.from_dict(d) for d in payload["partitions"]],
             version=payload["version"],
             codec=payload.get("codec", "tuple"),
+            generation=int(payload.get("generation", 0)),
         )
 
     def merged_with(self, other: "DatasetMetadata") -> "DatasetMetadata":
@@ -143,4 +154,7 @@ class DatasetMetadata:
             instance_type=self.instance_type,
             partitions=self.partitions + other.partitions,
             codec=self.codec,
+            # An append is an edit: cached answers against the old
+            # generation must stop hitting.
+            generation=self.generation + 1,
         )
