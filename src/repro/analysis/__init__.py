@@ -7,12 +7,17 @@ broadcast state, impure partitioners) all surface only at run time,
 often only at scale.  This package catches them first:
 
 * :func:`lint_paths` / :func:`lint_source` — run the AST rule catalogue
-  (:mod:`repro.analysis.rules`) over files or source text;
+  over files or source text: the REPRO1xx stage-closure rules
+  (:mod:`repro.analysis.rules`) and the REPRO2xx lock-discipline rules
+  (:mod:`repro.analysis.concurrency`);
 * ``repro lint`` — the CLI front end, with ``--format github`` for CI
-  annotations and ``# repro: noqa[RULE]`` inline suppressions;
-* the runtime complement lives in :mod:`repro.engine.sanitizer`
-  (``EngineContext(strict=True)``): pickle round-trips and captured-state
-  snapshots give the static rules a dynamic backstop.
+  annotations, ``--fail-on`` severity gating, and
+  ``# repro: noqa[RULE]`` inline suppressions;
+* the runtime complements live in :mod:`repro.engine.sanitizer`
+  (``EngineContext(strict=True)``: pickle round-trips and captured-state
+  snapshots backstop the closure rules) and
+  :mod:`repro.engine.lockwatch` (the lock-order sanitizer backstops the
+  concurrency rules against actual acquisitions).
 """
 
 from repro.analysis.findings import Finding, Severity, Suppressions

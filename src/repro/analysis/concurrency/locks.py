@@ -1,0 +1,380 @@
+"""The shared lock model for the REPRO2xx concurrency rules.
+
+Every concurrency rule needs the same three questions answered about a
+module:
+
+1. **Which classes own locks?**  (``self._lock = threading.Lock()`` in a
+   method body — :func:`build_class_models`)
+2. **Which statements run with which locks held?**  (the ``with
+   self._lock:`` regions — :class:`FunctionScan` records every call and
+   every ``self``-attribute mutation together with the stack of lock
+   labels held at that point)
+3. **What lock-acquisition order do nested ``with`` statements imply?**
+   (:attr:`FunctionScan.with_edges`, merged across the module graph by
+   the REPRO204 program-level pass)
+
+Lock identity is a *label*, not an object: ``self._lock`` inside class
+``ResultCache`` labels as ``ResultCache._lock`` — which is exactly what
+lets the cross-module order analysis merge acquisitions of the same
+class's lock from different files.  Local names label as
+``<path>::<name>`` so they never collide across modules.
+
+Like the closure analysis this builds on, the model is deliberately
+heuristic (lexical, no import resolution): it exists to catch the
+common, costly mistakes before a daemon deadlocks under production load.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.closures import (
+    MUTATING_METHODS,
+    Binding,
+    ModuleAnalysis,
+    dotted_name,
+)
+
+#: Callables whose result is treated as a lock (``with``-able, ordered).
+LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Module prefixes a dotted lock-factory call may come from.
+_LOCK_MODULES = frozenset({"threading", "_thread", "multiprocessing", "mp"})
+
+#: Methods exempt from the guarded-mutation rule: construction and
+#: (de)serialization run before/without the object being shared.
+EXEMPT_METHODS = frozenset(
+    {
+        "__init__",
+        "__new__",
+        "__del__",
+        "__post_init__",
+        "__getstate__",
+        "__setstate__",
+        "__reduce__",
+        "__copy__",
+        "__deepcopy__",
+    }
+)
+
+
+def is_lock_factory_call(node: ast.AST) -> bool:
+    """True for ``Lock()`` / ``threading.RLock()`` / ``Condition(...)`` …"""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    if parts[-1] not in LOCK_FACTORIES:
+        return False
+    return len(parts) == 1 or parts[0] in _LOCK_MODULES
+
+
+def factory_name(node: ast.AST) -> str | None:
+    """``"Condition"`` for a ``threading.Condition(...)`` call, else None."""
+    if not is_lock_factory_call(node):
+        return None
+    return (dotted_name(node.func) or "").split(".")[-1]  # type: ignore[union-attr]
+
+
+def _lockish_name(name: str) -> bool:
+    lowered = name.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+@dataclass
+class ClassLockModel:
+    """Lock ownership of one class: which attributes hold locks."""
+
+    node: ast.ClassDef
+    #: lock attribute name -> factory that created it ("Lock", "Condition", …)
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: Condition attribute -> the lock attribute it wraps
+    #: (``self._not_empty = Condition(self._lock)`` records ``_not_empty -> _lock``:
+    #: holding either label means holding the same underlying lock).
+    condition_backing: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def owns_locks(self) -> bool:
+        return bool(self.lock_attrs)
+
+    def lock_labels(self) -> set[str]:
+        return {f"{self.node.name}.{attr}" for attr in self.lock_attrs}
+
+    def label(self, attr: str) -> str:
+        return f"{self.node.name}.{attr}"
+
+
+def build_class_models(tree: ast.Module) -> dict[int, ClassLockModel]:
+    """``id(ClassDef) -> ClassLockModel`` for every class in the module."""
+    models: dict[int, ClassLockModel] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = ClassLockModel(node)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                value, targets = sub.value, sub.targets
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                value, targets = sub.value, [sub.target]
+            else:
+                continue
+            factory = factory_name(value)
+            if factory is None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    model.lock_attrs[target.attr] = factory
+                    if factory == "Condition" and value.args:  # type: ignore[union-attr]
+                        arg = value.args[0]  # type: ignore[union-attr]
+                        if (
+                            isinstance(arg, ast.Attribute)
+                            and isinstance(arg.value, ast.Name)
+                            and arg.value.id == "self"
+                        ):
+                            model.condition_backing[target.attr] = arg.attr
+        models[id(node)] = model
+    return models
+
+
+def _binding_for(module: ModuleAnalysis, name_node: ast.Name) -> Binding | None:
+    """Resolve a loaded Name to its lexical binding, walking scopes out."""
+    scope = module._scope_containing(name_node)
+    while scope is not None:
+        binding = scope.bindings.get(name_node.id)
+        if binding is not None:
+            return binding
+        scope = scope.parent
+    return None
+
+
+def lock_expr_label(
+    module: ModuleAnalysis,
+    expr: ast.expr,
+    class_model: ClassLockModel | None,
+) -> str | None:
+    """A stable label when ``expr`` denotes a lock, else ``None``.
+
+    ``self.<attr>`` labels class-qualified (``ResultCache._lock``) so the
+    cross-module order graph merges them; everything else is prefixed
+    with the module path so local names never collide across files.
+    """
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        owner = class_model.node.name if class_model is not None else "self"
+        if class_model is not None and expr.attr in class_model.lock_attrs:
+            return f"{owner}.{expr.attr}"
+        if _lockish_name(expr.attr):
+            return f"{owner}.{expr.attr}"
+        return None
+    if isinstance(expr, ast.Name):
+        binding = _binding_for(module, expr)
+        if binding is not None and (
+            any(is_lock_factory_call(v) for v in binding.values)
+            or any(f in (binding.annotation or "") for f in LOCK_FACTORIES)
+        ):
+            return f"{module.path}::{expr.id}"
+        if _lockish_name(expr.id):
+            return f"{module.path}::{expr.id}"
+        return None
+    dn = dotted_name(expr)
+    if dn is not None and _lockish_name(dn.split(".")[-1]):
+        return f"{module.path}::{dn}"
+    return None
+
+
+@dataclass
+class CallEvent:
+    """One call expression and the lock context it executes in."""
+
+    node: ast.Call
+    held: tuple[str, ...]
+    while_depth: int
+    finally_depth: int
+
+
+@dataclass
+class MutationEvent:
+    """One mutation of a ``self`` attribute (assign / del / mutating call)."""
+
+    node: ast.AST
+    attr: str  # the attribute directly on self (``self.a.b = x`` records "a")
+    held: tuple[str, ...]
+
+
+@dataclass
+class FunctionScan:
+    """Lock-relevant events of one function, with held-lock context."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    class_model: ClassLockModel | None
+    qualname: str
+    #: (outer_label, inner_label, with-node): inner acquired while outer held.
+    with_edges: list[tuple[str, str, ast.With]] = field(default_factory=list)
+    #: every lock-holding ``with`` entry: (label, with-node).
+    with_labels: list[tuple[str, ast.With]] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+    mutations: list[MutationEvent] = field(default_factory=list)
+
+
+@dataclass
+class ModuleLockScan:
+    """The full lock model of one module."""
+
+    module: ModuleAnalysis
+    class_models: dict[int, ClassLockModel]
+    functions: list[FunctionScan]
+
+
+def _self_attr_of(target: ast.expr) -> str | None:
+    """``self.a.b[k]`` -> ``"a"`` (the attribute directly on self)."""
+    node = target
+    nearest: ast.Attribute | None = None
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if isinstance(node, ast.Attribute):
+            nearest = node
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and nearest is not None:
+        return nearest.attr
+    return None
+
+
+class _FunctionWalker:
+    """Recursive statement walk tracking held locks / while / finally depth.
+
+    Nested function and class definitions are *not* descended into: their
+    bodies execute later, when the enclosing ``with`` blocks are long
+    gone.  They are scanned separately as functions in their own right.
+    """
+
+    def __init__(self, module: ModuleAnalysis, scan: FunctionScan):
+        self.module = module
+        self.scan = scan
+        self.held: list[str] = []
+        self.while_depth = 0
+        self.finally_depth = 0
+
+    def walk(self) -> None:
+        for stmt in self.scan.func.body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.While):
+            self.while_depth += 1
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            self.while_depth -= 1
+            return
+        if isinstance(node, ast.Try):
+            for part in (node.body, node.handlers, node.orelse):
+                for child in part:
+                    self._visit(child)
+            self.finally_depth += 1
+            for child in node.finalbody:
+                self._visit(child)
+            self.finally_depth -= 1
+            return
+        self._record(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        entered = 0
+        for item in node.items:
+            label = lock_expr_label(
+                self.module, item.context_expr, self.scan.class_model
+            )
+            if label is not None:
+                for outer in self.held:
+                    if outer != label:
+                        self.scan.with_edges.append((outer, label, node))
+                self.scan.with_labels.append((label, node))
+                self.held.append(label)
+                entered += 1
+            else:
+                # Non-lock context expressions (open(...), tracer spans …)
+                # still contain calls worth recording under the held stack.
+                self._visit(item.context_expr)
+        for stmt in node.body:
+            self._visit(stmt)
+        for _ in range(entered):
+            self.held.pop()
+
+    def _record(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self.scan.calls.append(
+                CallEvent(node, tuple(self.held), self.while_depth, self.finally_depth)
+            )
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                attr = _self_attr_of(func.value)
+                if attr is not None:
+                    self.scan.mutations.append(
+                        MutationEvent(node, attr, tuple(self.held))
+                    )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Delete)):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for target in targets:
+                attr = _self_attr_of(target)
+                if attr is not None:
+                    self.scan.mutations.append(
+                        MutationEvent(node, attr, tuple(self.held))
+                    )
+
+
+def lock_scan(module: ModuleAnalysis) -> ModuleLockScan:
+    """The (cached) lock model of ``module``.
+
+    Cached on the ModuleAnalysis instance: every REPRO2xx rule asks for
+    the same scan, and ``lint_paths`` keeps modules alive for the
+    program-level order pass.
+    """
+    cached = getattr(module, "_lock_scan", None)
+    if cached is not None:
+        return cached
+    class_models = build_class_models(module.tree)
+    method_class: dict[int, ClassLockModel] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            model = class_models[id(node)]
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method_class[id(stmt)] = model
+    functions: list[FunctionScan] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        model = method_class.get(id(node))
+        qualname = f"{model.node.name}.{node.name}" if model else node.name
+        scan = FunctionScan(func=node, class_model=model, qualname=qualname)
+        _FunctionWalker(module, scan).walk()
+        functions.append(scan)
+    result = ModuleLockScan(module, class_models, functions)
+    module._lock_scan = result  # type: ignore[attr-defined]
+    return result

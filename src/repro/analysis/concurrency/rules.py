@@ -1,0 +1,485 @@
+"""The REPRO2xx concurrency rule catalogue.
+
+Registered into the same catalogue as the REPRO1xx closure rules, so
+``repro lint`` runs them automatically and ``# repro: noqa[REPRO2xx]``
+suppressions work unchanged.
+
+======== ========================== =========================================
+id       name                       invariant protected
+======== ========================== =========================================
+REPRO201 unguarded-shared-mutation  attributes a lock-owning class guards
+                                    with ``with self._lock:`` must be
+                                    guarded at *every* mutation site
+REPRO202 unbalanced-acquire         bare ``acquire()``/``release()`` must
+                                    balance and release in a finally block;
+                                    prefer ``with lock:``
+REPRO203 blocking-call-under-lock   no network / subprocess / sleep /
+                                    pickle / queue / disk-decode calls
+                                    while a lock is held
+REPRO204 lock-order-inconsistency   nested ``with`` acquisitions must
+                                    imply one global lock order across the
+                                    linted module graph (cycles deadlock)
+REPRO205 condition-wait-no-predicate ``Condition.wait`` belongs inside a
+                                    ``while predicate`` loop (wakeups can
+                                    be spurious or stale)
+REPRO206 lock-in-stage-closure      locks must not leak into pickled stage
+                                    closures (bridges to the REPRO1xx
+                                    capture analysis)
+======== ========================== =========================================
+
+The runtime complement — the lock-order sanitizer that watches *actual*
+acquisitions — lives in :mod:`repro.engine.lockwatch`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.closures import ModuleAnalysis, dotted_name
+from repro.analysis.concurrency.locks import (
+    EXEMPT_METHODS,
+    LOCK_FACTORIES,
+    CallEvent,
+    FunctionScan,
+    factory_name,
+    is_lock_factory_call,
+    lock_expr_label,
+    lock_scan,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import (
+    LintOptions,
+    Rule,
+    _closure_label,
+    _interesting_captures,
+    register,
+)
+
+
+@register
+class UnguardedSharedMutation(Rule):
+    id = "REPRO201"
+    name = "unguarded-shared-mutation"
+    severity = Severity.ERROR
+    description = (
+        "An attribute of a lock-owning class is mutated both under the "
+        "class's lock and outside it.  The unguarded write races with "
+        "every guarded reader/writer — torn updates, lost increments — "
+        "and only surfaces under production concurrency.  Guard every "
+        "mutation site, or none (constructors and (de)serialization "
+        "hooks are exempt: the object is not yet shared there; methods "
+        "named *_locked are treated as called with the lock already "
+        "held, the CPython convention for split critical sections)."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        scan = lock_scan(module)
+        by_class: dict[int, list[FunctionScan]] = {}
+        for fn in scan.functions:
+            if fn.class_model is not None and fn.class_model.owns_locks:
+                by_class.setdefault(id(fn.class_model.node), []).append(fn)
+        for fns in by_class.values():
+            model = fns[0].class_model
+            assert model is not None
+            own = model.lock_labels()
+            #: attr -> lock label that guards it somewhere
+            guarded: dict[str, str] = {}
+            relevant = [fn for fn in fns if fn.func.name not in EXEMPT_METHODS]
+            for fn in relevant:
+                held_by_convention = fn.func.name.endswith("_locked")
+                for mut in fn.mutations:
+                    if mut.attr in model.lock_attrs:
+                        continue
+                    held_own = sorted(set(mut.held) & own)
+                    if held_by_convention and not held_own:
+                        held_own = sorted(own)
+                    if held_own and mut.attr not in guarded:
+                        guarded[mut.attr] = held_own[0]
+            for fn in relevant:
+                if fn.func.name.endswith("_locked"):
+                    continue  # contractually called with the lock held
+                for mut in fn.mutations:
+                    if mut.attr not in guarded:
+                        continue
+                    if set(mut.held) & own:
+                        continue
+                    yield self.finding(
+                        module,
+                        mut.node,
+                        f"{model.node.name}.{mut.attr} is mutated in "
+                        f"{fn.qualname} without holding "
+                        f"{guarded[mut.attr]}, but other sites guard it; "
+                        f"this write races with every guarded access",
+                    )
+
+
+def _nonblocking_acquire(call: ast.Call) -> bool:
+    """True for try-lock idioms: ``acquire(False)`` / ``timeout=`` forms."""
+    if len(call.args) >= 2:
+        return True  # explicit timeout positional
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and not first.value:
+            return True
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return True
+        if kw.arg == "blocking":
+            value = kw.value
+            if not (isinstance(value, ast.Constant) and value.value):
+                return True
+    return False
+
+
+@register
+class UnbalancedAcquire(Rule):
+    id = "REPRO202"
+    name = "unbalanced-acquire"
+    severity = Severity.ERROR
+    description = (
+        "Bare lock.acquire()/release() calls.  An acquire with no release "
+        "in the same function leaves the lock held forever on any early "
+        "return or exception; a balanced pair whose release is not inside "
+        "a finally block leaks the lock on exceptions.  Use `with lock:` "
+        "(or at minimum acquire/try/finally-release).  Non-blocking "
+        "acquires (blocking=False / timeout=) are exempt try-lock idioms."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        scan = lock_scan(module)
+        for fn in scan.functions:
+            acquires: dict[str, list[CallEvent]] = {}
+            any_acquire: set[str] = set()
+            releases: dict[str, list[CallEvent]] = {}
+            for ev in fn.calls:
+                func = ev.node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in {"acquire", "release"}:
+                    continue
+                label = lock_expr_label(module, func.value, fn.class_model)
+                if label is None:
+                    continue
+                if func.attr == "acquire":
+                    any_acquire.add(label)
+                    if not _nonblocking_acquire(ev.node):
+                        acquires.setdefault(label, []).append(ev)
+                else:
+                    releases.setdefault(label, []).append(ev)
+            for label, acqs in sorted(acquires.items()):
+                rels = releases.get(label, [])
+                if not rels:
+                    yield self.finding(
+                        module,
+                        acqs[0].node,
+                        f"{fn.qualname} acquires {label} with no release() "
+                        f"in the same function; an exception or early "
+                        f"return leaves it held forever — use `with`",
+                    )
+                elif not all(r.finally_depth > 0 for r in rels):
+                    yield self.finding(
+                        module,
+                        acqs[0].node,
+                        f"bare acquire()/release() on {label} in "
+                        f"{fn.qualname}: the release is not in a finally "
+                        f"block, so an exception leaks the lock — prefer "
+                        f"`with`",
+                        severity=Severity.WARNING,
+                    )
+            for label, rels in sorted(releases.items()):
+                if label not in any_acquire:
+                    yield self.finding(
+                        module,
+                        rels[0].node,
+                        f"{fn.qualname} releases {label} it never acquired "
+                        f"in this function; cross-function lock hand-offs "
+                        f"hide the pairing from every reader and analyzer",
+                        severity=Severity.WARNING,
+                    )
+
+
+#: Exact dotted calls that block.
+_BLOCKING_DOTTED = frozenset(
+    {"time.sleep", "socket.create_connection", "select.select"}
+)
+#: Any call into these modules blocks on an external process / network.
+_BLOCKING_MODULES = frozenset({"subprocess", "requests", "urllib"})
+_PICKLE_MODULES = frozenset({"pickle", "cloudpickle", "marshal", "json"})
+_PICKLE_FUNCS = frozenset({"dump", "dumps", "load", "loads"})
+_SOCKET_METHODS = frozenset(
+    {"recv", "recv_into", "recvfrom", "send", "sendall", "sendto", "accept", "connect"}
+)
+_THREADISH = ("thread", "worker", "proc")
+
+
+@register
+class BlockingCallUnderLock(Rule):
+    id = "REPRO203"
+    name = "blocking-call-under-lock"
+    severity = Severity.WARNING
+    description = (
+        "A blocking call (network, subprocess, sleep, queue, (un)pickling "
+        "of payloads, disk decode) runs while a lock is held.  Every "
+        "other thread needing the lock stalls for the call's full "
+        "duration — the classic serve-daemon tail-latency amplifier, and "
+        "one unlucky dependency away from a deadlock.  Move the slow "
+        "work outside the critical section and re-check state after "
+        "re-acquiring."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        scan = lock_scan(module)
+        for fn in scan.functions:
+            for ev in fn.calls:
+                if not ev.held:
+                    continue
+                reason = self._blocking_reason(module, fn, ev)
+                if reason is not None:
+                    yield self.finding(
+                        module,
+                        ev.node,
+                        f"{reason} while holding {ev.held[-1]} in "
+                        f"{fn.qualname}; move the blocking work outside "
+                        f"the critical section",
+                    )
+
+    def _blocking_reason(
+        self, module: ModuleAnalysis, fn: FunctionScan, ev: CallEvent
+    ) -> str | None:
+        call = ev.node
+        dn = dotted_name(call.func)
+        if dn is not None:
+            parts = dn.split(".")
+            if dn in _BLOCKING_DOTTED:
+                return f"{dn}() blocks"
+            if parts[0] in _BLOCKING_MODULES:
+                return f"{dn}() blocks on an external process/network"
+            if (
+                parts[0] in _PICKLE_MODULES
+                and parts[-1] in _PICKLE_FUNCS
+                and len(parts) >= 2
+            ):
+                return f"{dn}() serializes a payload"
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        recv = dotted_name(call.func.value) or ""
+        last = recv.split(".")[-1].lower()
+        if attr in _SOCKET_METHODS and recv:
+            return f"{recv}.{attr}() blocks on the network"
+        if attr in {"get", "put", "take"} and (
+            "queue" in last or last == "q" or last.endswith("_q")
+        ):
+            return f"{recv}.{attr}() can block on the queue"
+        if attr == "join" and any(f in last for f in _THREADISH):
+            return f"{recv}.join() blocks until the thread exits"
+        if attr == "read_block":
+            return f"{recv}.read_block() does disk I/O and block decode"
+        if attr == "wait":
+            label = lock_expr_label(module, call.func.value, fn.class_model)
+            if label is not None and label in ev.held:
+                return None  # Condition.wait releases the held lock itself
+            model = fn.class_model
+            if (
+                model is not None
+                and isinstance(call.func.value, ast.Attribute)
+                and isinstance(call.func.value.value, ast.Name)
+                and call.func.value.value.id == "self"
+            ):
+                backing = model.condition_backing.get(call.func.value.attr)
+                if backing is not None and model.label(backing) in ev.held:
+                    return None  # condition built on the held lock
+            return f"{recv}.wait() blocks while the lock is held"
+        return None
+
+
+def _find_path(
+    graph: dict[str, set[str]], src: str, dst: str
+) -> list[str] | None:
+    """Deterministic BFS path ``src -> … -> dst`` over the order graph."""
+    if src == dst:
+        return [src]
+    frontier = [src]
+    parents: dict[str, str] = {}
+    seen = {src}
+    while frontier:
+        nxt: list[str] = []
+        for node in frontier:
+            for succ in sorted(graph.get(node, ())):
+                if succ in seen:
+                    continue
+                parents[succ] = node
+                if succ == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(succ)
+                nxt.append(succ)
+        frontier = nxt
+    return None
+
+
+@register
+class LockOrderInconsistency(Rule):
+    id = "REPRO204"
+    name = "lock-order-inconsistency"
+    severity = Severity.ERROR
+    program_level = True
+    description = (
+        "Nested `with` statements acquire locks in conflicting orders "
+        "somewhere in the linted module graph.  Two threads running the "
+        "two sites concurrently can each hold the lock the other needs — "
+        "a deadlock that needs production contention to fire.  Pick one "
+        "global order (the runtime sanitizer in repro.engine.lockwatch "
+        "checks the same invariant against actual acquisitions)."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        yield from self.check_program([module], options)
+
+    def check_program(
+        self, modules: list[ModuleAnalysis], options: LintOptions
+    ) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        sites: dict[tuple[str, str], tuple[ModuleAnalysis, ast.AST, str]] = {}
+        for module in modules:
+            for fn in lock_scan(module).functions:
+                for outer, inner, node in fn.with_edges:
+                    graph.setdefault(outer, set()).add(inner)
+                    sites.setdefault((outer, inner), (module, node, fn.qualname))
+        for (outer, inner), (module, node, qualname) in sorted(
+            sites.items(), key=lambda kv: kv[0]
+        ):
+            back = _find_path(graph, inner, outer)
+            if back is None:
+                continue
+            yield Finding(
+                path=module.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.id,
+                severity=self.severity,
+                message=(
+                    f"inconsistent lock order: {qualname} acquires "
+                    f"{outer} -> {inner}, but elsewhere the order is "
+                    f"{' -> '.join(back)}; concurrent threads can "
+                    f"deadlock"
+                ),
+            )
+
+
+@register
+class ConditionWaitNoPredicate(Rule):
+    id = "REPRO205"
+    name = "condition-wait-no-predicate"
+    severity = Severity.WARNING
+    description = (
+        "Condition.wait() outside a `while predicate` loop.  Wakeups can "
+        "be spurious, and notify() only means the state *was* true — by "
+        "the time the waiter reacquires the lock another thread may have "
+        "consumed it.  Re-check the predicate in a while loop (or use "
+        "wait_for, which loops internally)."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        scan = lock_scan(module)
+        for fn in scan.functions:
+            for ev in fn.calls:
+                func = ev.node.func
+                if not isinstance(func, ast.Attribute) or func.attr != "wait":
+                    continue
+                if ev.while_depth > 0:
+                    continue
+                if not self._is_condition(module, fn, func.value):
+                    continue
+                yield self.finding(
+                    module,
+                    ev.node,
+                    f"Condition.wait() in {fn.qualname} is not inside a "
+                    f"while-predicate loop; spurious/stale wakeups will "
+                    f"proceed on a false condition",
+                )
+
+    @staticmethod
+    def _is_condition(
+        module: ModuleAnalysis, fn: FunctionScan, receiver: ast.expr
+    ) -> bool:
+        model = fn.class_model
+        if (
+            model is not None
+            and isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            return model.lock_attrs.get(receiver.attr) == "Condition"
+        if isinstance(receiver, ast.Name):
+            from repro.analysis.concurrency.locks import _binding_for
+
+            binding = _binding_for(module, receiver)
+            if binding is not None:
+                return any(factory_name(v) == "Condition" for v in binding.values)
+        return False
+
+
+@register
+class LockInStageClosure(Rule):
+    id = "REPRO206"
+    name = "lock-in-stage-closure"
+    severity = Severity.ERROR
+    description = (
+        "A stage closure captures a lock (or the `self` of a lock-owning "
+        "class).  Locks cannot be pickled to process workers, and even "
+        "on the thread backend a lock smuggled into tasks synchronizes "
+        "nothing across processes — the same hazard class the REPRO1xx "
+        "capture rules guard, specialized to synchronization primitives.  "
+        "Do the locked work on the driver; report task results through "
+        "accumulators or return values."
+    )
+
+    def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        scan = lock_scan(module)
+        for closure in module.stage_closures:
+            for name, binding in _interesting_captures(module, closure):
+                if name == "self":
+                    model = self._enclosing_lock_class(module, closure.node, scan)
+                    if model is not None:
+                        yield self.finding(
+                            module,
+                            closure.node,
+                            f"{_closure_label(closure)} captures 'self' of "
+                            f"lock-owning class {model.node.name}; its "
+                            f"lock(s) ({', '.join(sorted(model.lock_attrs))}) "
+                            f"do not pickle and do not synchronize across "
+                            f"workers",
+                            severity=Severity.WARNING,
+                        )
+                    continue
+                is_lock = (
+                    any(is_lock_factory_call(v) for v in binding.values)
+                    or any(
+                        f in (binding.annotation or "") for f in LOCK_FACTORIES
+                    )
+                    or name.lower().endswith("lock")
+                )
+                if is_lock:
+                    yield self.finding(
+                        module,
+                        closure.node,
+                        f"{_closure_label(closure)} captures lock {name!r}; "
+                        f"locks don't pickle to process workers and guard "
+                        f"nothing across processes — keep locking on the "
+                        f"driver",
+                    )
+
+    @staticmethod
+    def _enclosing_lock_class(module, closure_node, scan):
+        scope = module.scope_of(closure_node).parent
+        while scope is not None:
+            if isinstance(scope.node, ast.ClassDef):
+                model = scan.class_models.get(id(scope.node))
+                if model is not None and model.owns_locks:
+                    return model
+            scope = scope.parent
+        return None

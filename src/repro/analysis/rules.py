@@ -31,6 +31,10 @@ REPRO109 broadcast-mutation       broadcasts are read-only; mutations are
 REPRO110 partitioner-contract     ``assign`` must be pure and
                                   ``num_partitions`` positive
 ======== ======================== =========================================
+
+The REPRO2xx concurrency family (lock discipline, lock-order graphs,
+condition predicates) lives in :mod:`repro.analysis.concurrency.rules`
+and registers into the same catalogue.
 """
 
 from __future__ import annotations
@@ -74,14 +78,28 @@ class LintOptions:
 
 
 class Rule:
-    """One lint rule: stable id, default severity, a ``check`` pass."""
+    """One lint rule: stable id, default severity, a ``check`` pass.
+
+    Most rules are module-local: ``check`` sees one :class:`ModuleAnalysis`
+    at a time.  Rules whose invariant spans files (e.g. the global lock
+    order) set ``program_level = True`` and implement ``check_program``;
+    ``lint_paths`` runs those once over every successfully parsed module
+    instead of per-file.
+    """
 
     id: str = "REPRO000"
     name: str = "abstract"
     severity: Severity = Severity.WARNING
     description: str = ""
+    program_level: bool = False
 
     def check(self, module: ModuleAnalysis, options: LintOptions) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_program(
+        self, modules: list[ModuleAnalysis], options: LintOptions
+    ) -> Iterator[Finding]:
+        """Cross-module pass; only called when ``program_level`` is True."""
         raise NotImplementedError
 
     def finding(

@@ -11,6 +11,9 @@ from repro.analysis.closures import ModuleAnalysis
 from repro.analysis.findings import Finding, Severity, Suppressions
 from repro.analysis.rules import RULES, LintOptions, Rule, rules_by_id
 
+# Importing the concurrency catalogue registers REPRO2xx into RULES.
+import repro.analysis.concurrency.rules  # noqa: F401
+
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset(
     {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
@@ -34,11 +37,15 @@ class LintReport:
             return None
         return max(f.severity for f in self.all_findings)
 
+    def fails_at(self, threshold: Severity) -> bool:
+        """True when any finding is at or above ``threshold``."""
+        worst = self.worst_severity()
+        return worst is not None and worst >= threshold
+
     @property
     def failed(self) -> bool:
         """True when the run should fail a build (warnings and up)."""
-        worst = self.worst_severity()
-        return worst is not None and worst >= Severity.WARNING
+        return self.fails_at(Severity.WARNING)
 
 
 def _select_rules(
@@ -86,7 +93,11 @@ def lint_source(
     ignore: Sequence[str] | None = None,
     options: LintOptions | None = None,
 ) -> list[Finding]:
-    """Lint one source string — the importable API the tests build on."""
+    """Lint one source string — the importable API the tests build on.
+
+    Program-level rules run here too, in single-module mode, so their
+    within-module findings still surface when linting a lone string.
+    """
     options = options or LintOptions()
     suppressions = Suppressions(source)
     if suppressions.skip_file:
@@ -107,8 +118,19 @@ def lint_paths(
     ignore: Sequence[str] | None = None,
     options: LintOptions | None = None,
 ) -> LintReport:
-    """Lint every .py file under ``paths`` and aggregate a report."""
+    """Lint every .py file under ``paths`` and aggregate a report.
+
+    Module-local rules run per file; ``program_level`` rules (e.g. the
+    REPRO204 global lock order) run once over every successfully parsed
+    module so they can see cross-file inconsistencies.  Suppressions are
+    applied per-file in both passes.
+    """
+    options = options or LintOptions()
+    active = _select_rules(select, ignore)
+    local_rules = [rule for rule in active if not rule.program_level]
+    program_rules = [rule for rule in active if rule.program_level]
     report = LintReport()
+    parsed: list[tuple[ModuleAnalysis, Suppressions]] = []
     for path in iter_python_files(paths):
         report.files_checked += 1
         try:
@@ -125,10 +147,11 @@ def lint_paths(
                 )
             )
             continue
+        suppressions = Suppressions(source)
+        if suppressions.skip_file:
+            continue
         try:
-            report.findings.extend(
-                lint_source(source, str(path), select, ignore, options)
-            )
+            tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
             report.parse_errors.append(
                 Finding(
@@ -140,4 +163,20 @@ def lint_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
+            continue
+        module = ModuleAnalysis(str(path), source, tree)
+        parsed.append((module, suppressions))
+        for rule in local_rules:
+            for finding in rule.check(module, options):
+                if not suppressions.suppresses(finding):
+                    report.findings.append(finding)
+    if program_rules and parsed:
+        modules = [module for module, _ in parsed]
+        by_path = {module.path: supp for module, supp in parsed}
+        for rule in program_rules:
+            for finding in rule.check_program(modules, options):
+                suppressions = by_path.get(finding.path)
+                if suppressions is None or not suppressions.suppresses(finding):
+                    report.findings.append(finding)
+    report.findings.sort()
     return report

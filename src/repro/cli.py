@@ -17,10 +17,14 @@ surface a data engineer needs without writing code:
 * ``query``    — thin client for a running daemon (also ``--stats`` /
   ``--ping`` / ``--shutdown``);
 * ``info``     — print a dataset's metadata summary;
-* ``lint``     — static distributed-correctness checks on stage closures
-  (see :mod:`repro.analysis`);
+* ``lint``     — static distributed-correctness checks: stage-closure
+  rules (REPRO1xx) and lock-discipline rules (REPRO2xx); see
+  :mod:`repro.analysis`;
 * ``trace``    — run a pipeline script under the tracer and export its
   span tree (Chrome trace JSON / text summary / JSONL);
+* ``locks``    — run a pipeline script under the runtime lock-order
+  sanitizer (:mod:`repro.engine.lockwatch`) and report the lock-order
+  graph, per-site hold/contention stats, and any deadlock hazards;
 * ``chaos``    — run a pipeline script under a seeded
   :class:`~repro.engine.faults.FaultPlan` (injected task errors, worker
   kills, straggler delays, corrupt reads) and report what fired and what
@@ -290,7 +294,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     output = render(report, args.format)
     if output:
         print(output)
-    return 1 if report.failed else 0
+    from repro.analysis import Severity
+
+    threshold = Severity[args.fail_on.upper()]
+    return 1 if report.fails_at(threshold) else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -324,6 +331,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for kind, path in sorted(paths.items()):
         print(f"{kind} trace written to {path}")
     return 0
+
+
+def _cmd_locks(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import runpy
+
+    from repro.engine import lockwatch
+
+    script = Path(args.script)
+    if not script.exists():
+        print(f"locks: no such script: {script}", file=sys.stderr)
+        return 2
+    out = args.out or Path("traces") / f"locks-{script.stem}.json"
+    previous_backend = os.environ.get("REPRO_DEFAULT_BACKEND")
+    os.environ["REPRO_DEFAULT_BACKEND"] = args.backend
+    watcher = lockwatch.install()
+    watcher.reset()
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        if previous_backend is None:
+            os.environ.pop("REPRO_DEFAULT_BACKEND", None)
+        else:
+            os.environ["REPRO_DEFAULT_BACKEND"] = previous_backend
+    snapshot = watcher.snapshot()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True), encoding="utf-8")
+    if not args.quiet:
+        print(lockwatch.format_report(snapshot))
+        print()
+    print(f"lock-order graph written to {out}")
+    return 1 if snapshot["violations"] else 0
 
 
 def _run_script_traced(script: Path, backend: str, fault_env: str | None):
@@ -625,10 +665,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static distributed-correctness checks for stage closures",
-        description="AST-based lint of code that ships closures into "
-        "engine stages: capture safety, picklability, determinism, "
-        "broadcast immutability, partitioner contracts.",
+        help="static distributed-correctness and lock-discipline checks",
+        description="AST-based lint: the REPRO1xx family checks code that "
+        "ships closures into engine stages (capture safety, picklability, "
+        "determinism, broadcast immutability, partitioner contracts); the "
+        "REPRO2xx family checks lock discipline (guarded mutation, "
+        "balanced acquire/release, blocking calls under locks, global "
+        "lock order, condition predicates, locks in stage closures).",
     )
     lint.add_argument("paths", nargs="*", type=Path)
     lint.add_argument("--format", choices=FORMATS, default="text")
@@ -657,6 +700,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    lint.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="warning",
+        help="minimum finding severity that makes the exit code 1 "
+        "(default: warning; 'error' still prints warnings but lets CI "
+        "gate on errors only)",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser(
@@ -678,6 +729,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="skip printing the summary tree"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    locks = sub.add_parser(
+        "locks",
+        help="run a script under the lock-order sanitizer and report",
+        description="Executes SCRIPT (as __main__) with the runtime "
+        "lock-order sanitizer installed (the REPRO_LOCK_SANITIZER=1 "
+        "instrumentation): every Lock/RLock created by repro modules is "
+        "watched, per-thread acquisition stacks build the global "
+        "lock-order graph, and cycles (deadlock hazards) are reported.  "
+        "Writes the graph + per-site hold/contention stats as JSON; "
+        "exits 1 when any violation was recorded.",
+    )
+    locks.add_argument("script", type=Path)
+    locks.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="JSON output path (default: traces/locks-<script-stem>.json)",
+    )
+    locks.add_argument(
+        "--quiet", action="store_true", help="skip printing the report"
+    )
+    locks.set_defaults(func=_cmd_locks)
 
     chaos = sub.add_parser(
         "chaos",

@@ -23,6 +23,7 @@ recursively, materializing shuffle outputs at stage boundaries, which is
 the same stage decomposition Spark's DAG scheduler performs.
 """
 
+from repro.engine import lockwatch
 from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.engine.broadcast import Broadcast
@@ -33,6 +34,7 @@ from repro.engine.errors import (
     EngineError,
     InjectedFault,
     InjectedWorkerLoss,
+    LockOrderViolation,
     RetryBudgetExhausted,
     StrictModeViolation,
     TaskFailure,
@@ -68,6 +70,7 @@ __all__ = [
     "EngineError",
     "InjectedFault",
     "InjectedWorkerLoss",
+    "LockOrderViolation",
     "RetryBudgetExhausted",
     "StrictModeViolation",
     "TaskFailure",
@@ -85,4 +88,11 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "resolve_backend",
+    "lockwatch",
 ]
+
+# REPRO_LOCK_SANITIZER=1 turns the lock-order sanitizer on for the whole
+# process at `import repro` — this runs after the engine modules above so
+# install() can rebind their `from threading import Lock` globals too.
+if lockwatch.env_enabled():
+    lockwatch.install()

@@ -65,8 +65,10 @@ class EngineContext:
         before/after execution, so unpicklable captures, task-side
         mutation of captured state, and broadcast mutation raise
         :class:`~repro.engine.errors.StrictModeViolation` on *any*
-        backend — the dynamic backstop of ``repro lint``.  Costs one
-        serialization pass per stage; meant for tests and debugging.
+        backend — the dynamic backstop of ``repro lint``.  Also installs
+        the lock-order sanitizer (:mod:`repro.engine.lockwatch`) in
+        record mode, the dynamic backstop of the REPRO2xx rules.  Costs
+        one serialization pass per stage; meant for tests and debugging.
     fault_plan:
         A :class:`~repro.engine.faults.FaultPlan` (or dict / JSON string /
         path to one) injecting deterministic faults into every stage.
@@ -127,6 +129,13 @@ class EngineContext:
         self._inline = SequentialBackend()
         self.strict = strict
         self._sanitizer = StageSanitizer() if strict else None
+        if strict:
+            # Strict mode also turns on the runtime lock-order sanitizer
+            # (record mode): cycles surface in watcher().violations and the
+            # REPRO_LOCK_GRAPH_OUT dump rather than raising mid-stage.
+            from repro.engine import lockwatch
+
+            lockwatch.install()
         self._metrics_lock = Lock()
         self._in_task = threading.local()
         #: Cumulative worker losses, driving the demotion ladder.

@@ -86,6 +86,23 @@ class StrictModeViolation(EngineError):
         self.rule = rule
 
 
+class LockOrderViolation(EngineError):
+    """The runtime lock-order sanitizer detected a deadlock hazard.
+
+    Raised by :mod:`repro.engine.lockwatch` in two cases: a thread
+    blocking-reacquires a non-reentrant lock it already holds (certain
+    self-deadlock — always raised), or an acquisition closes a cycle in
+    the global lock-order graph while the watcher runs with
+    ``raise_on_cycle=True`` (in the default record mode cycles are only
+    reported).  ``cycle`` is the ordered tuple of lock creation-site
+    labels forming the loop.
+    """
+
+    def __init__(self, message: str, cycle: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
 class TaskTimeout(EngineError):
     """A task exceeded the process backend's per-task timeout.
 

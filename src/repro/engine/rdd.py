@@ -865,7 +865,9 @@ class _ShuffledRDD(RDD):
             buckets: list[list] = [[] for _ in range(n)]
             shuffled_records = 0
 
-            def map_task(split: int) -> list:
+            # The captured self is safe despite owning _lock: __getstate__
+            # nulls it for the worker copy, and workers only read lineage.
+            def map_task(split: int) -> list:  # repro: noqa[REPRO206]
                 items = self._parent._partition(split)
                 out: list[tuple[int, Any]] = []
                 if self._combine:

@@ -151,27 +151,58 @@ class DatasetState:
         number of partitions surviving metadata pruning — the same
         shortlist a one-shot :meth:`StDataset.read` would deserialize,
         except here previously loaded blocks come from residency.
+
+        Disk reads and block decode happen *outside* the lock (REPRO203:
+        a decode can take tens of milliseconds, and every other request
+        thread would stall on the lock for the duration).  Two threads
+        missing on the same block may both decode it; the second store is
+        dropped so all callers share one resident object per filename.
         """
         with self._lock:
-            selected = self.meta.select_partitions(spatial, temporal)
-            partitions = []
+            meta_snapshot = self.meta
+            codec = meta_snapshot.codec
+            selected = meta_snapshot.select_partitions(spatial, temporal)
+            total = len(meta_snapshot.partitions)
+            blocks: dict[str, list] = {}
+            misses = []
             for meta in selected:
                 block = self._blocks.get(meta.filename)
                 if block is None:
-                    block = self.dataset.read_block(meta, codec=self.meta.codec)
-                    self._blocks[meta.filename] = block
+                    misses.append(meta)
+                else:
+                    # Touch for LRU recency.
+                    self._block_order.remove(meta.filename)
                     self._block_order.append(meta.filename)
+                    blocks[meta.filename] = block
+        decoded = {
+            meta.filename: self.dataset.read_block(meta, codec=codec)
+            for meta in misses
+        }
+        if decoded:
+            with self._lock:
+                for filename, block in decoded.items():
+                    blocks[filename] = block
+                    if self.meta is not meta_snapshot:
+                        # A refresh() swapped the dataset mid-decode; the
+                        # answer (built from the old snapshot) is still
+                        # consistent, but caching the stale block would
+                        # poison the fresh residency set.
+                        continue
+                    resident = self._blocks.get(filename)
+                    if resident is not None:
+                        # A concurrent miss decoded it first; keep the
+                        # resident object so every caller shares one copy.
+                        blocks[filename] = resident
+                        continue
+                    self._blocks[filename] = block
+                    self._block_order.append(filename)
                     self.blocks_loaded += 1
                     while len(self._block_order) > self.max_resident_blocks:
                         evicted = self._block_order.pop(0)
                         self._blocks.pop(evicted, None)
                         self.block_evictions += 1
-                else:
-                    # Touch for LRU recency.
-                    self._block_order.remove(meta.filename)
-                    self._block_order.append(meta.filename)
-                partitions.append(block)
-            return partitions, len(selected), len(self.meta.partitions)
+        partitions = [blocks[meta.filename] for meta in selected]
+        return partitions, len(selected), total
 
     def resident_blocks(self) -> int:
         """Number of currently resident decoded blocks."""

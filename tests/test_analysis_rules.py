@@ -298,6 +298,95 @@ class TestSuppressionsAndReport:
         )
         assert lint_source(source, options=WITH_CLOUDPICKLE) == []
 
+    def test_multiple_rule_ids_on_one_line(self):
+        source = textwrap.dedent(
+            """
+            import time
+            def job(rdd):
+                seen = []
+                return rdd.map(lambda x: seen.append(time.time()) or x)  # repro: noqa[REPRO104, REPRO106]
+            """
+        )
+        assert lint_source(source, options=WITH_CLOUDPICKLE) == []
+        # Dropping one id from the list re-exposes exactly that rule.
+        partial = source.replace("REPRO104, REPRO106", "REPRO106")
+        assert {f.rule for f in lint_source(partial, options=WITH_CLOUDPICKLE)} == {
+            "REPRO104"
+        }
+
+    def test_unknown_rule_id_in_noqa_is_inert(self):
+        # Unlike --select, a noqa naming an unknown rule must not error —
+        # it simply suppresses nothing.
+        source = textwrap.dedent(self.SOURCE).replace("REPRO104", "REPRO999")
+        assert {f.rule for f in lint_source(source, options=WITH_CLOUDPICKLE)} == {
+            "REPRO104"
+        }
+
+    def test_skip_file_marker_beyond_first_ten_lines_ignored(self):
+        body = textwrap.dedent(self.SOURCE).replace("  # repro: noqa[REPRO104]", "")
+        source = "\n" * 12 + "# repro-lint: skip-file\n" + body
+        assert {f.rule for f in lint_source(source, options=WITH_CLOUDPICKLE)} == {
+            "REPRO104"
+        }
+
+    def test_noqa_case_and_spacing_variants(self):
+        for comment in (
+            "#repro: noqa[REPRO104]",
+            "#  repro:  noqa[ REPRO104 ]",
+            "# repro: noqa[repro104]",
+        ):
+            source = textwrap.dedent(self.SOURCE).replace(
+                "# repro: noqa[REPRO104]", comment
+            )
+            assert lint_source(source, options=WITH_CLOUDPICKLE) == [], comment
+
+    def test_noqa_on_wrong_line_does_not_suppress(self):
+        source = textwrap.dedent(
+            """
+            def job(rdd):
+                # repro: noqa[REPRO104]
+                seen = []
+                return rdd.map(lambda x: seen.append(x) or x)
+            """
+        )
+        assert {f.rule for f in lint_source(source, options=WITH_CLOUDPICKLE)} == {
+            "REPRO104"
+        }
+
+    def test_fails_at_thresholds(self):
+        report = LintReport()
+        report.findings = lint_source(
+            textwrap.dedent(self.SOURCE).replace("  # repro: noqa[REPRO104]", ""),
+            options=WITH_CLOUDPICKLE,
+        )
+        assert report.worst_severity() == Severity.ERROR
+        assert report.fails_at(Severity.WARNING)
+        assert report.fails_at(Severity.ERROR)
+        warn_only = LintReport()
+        warn_only.findings = [
+            f for f in report.findings if f.severity == Severity.WARNING
+        ] or lint_source(
+            "import time\n\n"
+            "def job(rdd):\n"
+            "    return rdd.map(lambda x: (x, time.time()))\n",
+            options=WITH_CLOUDPICKLE,
+        )
+        assert warn_only.fails_at(Severity.WARNING)
+        assert not warn_only.fails_at(Severity.ERROR)
+
+    def test_cli_fail_on_flag(self, tmp_path, capsys):
+        warn_file = tmp_path / "warns.py"
+        warn_file.write_text(
+            "import time\n\n"
+            "def job(rdd):\n"
+            "    return rdd.map(lambda x: (x, time.time()))\n"
+        )
+        assert main(["lint", str(warn_file)]) == 1
+        capsys.readouterr()
+        assert main(["lint", str(warn_file), "--fail-on", "error"]) == 0
+        # Warnings must still be printed even when not failing the build.
+        assert "REPRO106" in capsys.readouterr().out
+
     def test_select_and_ignore(self):
         source = textwrap.dedent(
             """
@@ -317,7 +406,10 @@ class TestSuppressionsAndReport:
             lint_source("x = 1", select=["REPRO999"])
 
     def test_rule_catalogue_complete(self):
-        assert sorted(rules_by_id()) == [f"REPRO{n}" for n in range(101, 111)]
+        expected = [f"REPRO{n}" for n in range(101, 111)] + [
+            f"REPRO{n}" for n in range(201, 207)
+        ]
+        assert sorted(rules_by_id()) == expected
 
     def test_syntax_error_becomes_finding(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -390,7 +482,8 @@ class TestStrictMode:
         # driver-side on *every* backend, not crash mid-shuffle on process.
         lock = threading.Lock()
         with pytest.raises(StrictModeViolation) as err:
-            strict_ctx.parallelize(range(4), 2).map(lambda x: (lock, x) and x).collect()
+            # The lock capture is the point of the test.
+            strict_ctx.parallelize(range(4), 2).map(lambda x: (lock, x) and x).collect()  # repro: noqa[REPRO206]
         assert err.value.rule == "REPRO105"
         assert "lock" in str(err.value)
 

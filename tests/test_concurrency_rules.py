@@ -1,0 +1,530 @@
+"""The REPRO2xx lock-discipline rules (`repro.analysis.concurrency`)."""
+
+import textwrap
+
+from repro.analysis import Severity, lint_paths, lint_source
+
+CONCURRENCY = ["REPRO201", "REPRO202", "REPRO203", "REPRO204", "REPRO205", "REPRO206"]
+
+
+def rules_of(source, **kwargs):
+    findings = lint_source(
+        textwrap.dedent(source), select=kwargs.pop("select", CONCURRENCY), **kwargs
+    )
+    return {f.rule for f in findings}
+
+
+class TestUnguardedSharedMutation:
+    def test_unguarded_write_flagged(self):
+        assert "REPRO201" in rules_of(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = {}
+                def put(self, k, v):
+                    with self._lock:
+                        self.items[k] = v
+                def drop(self, k):
+                    del self.items[k]
+            """
+        )
+
+    def test_consistently_guarded_clean(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = {}
+                def put(self, k, v):
+                    with self._lock:
+                        self.items[k] = v
+                def drop(self, k):
+                    with self._lock:
+                        self.items.pop(k, None)
+            """
+        ) == set()
+
+    def test_init_and_getstate_exempt(self):
+        # Constructors and (de)serialization hooks touch pre-shared state.
+        assert rules_of(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = {}
+                def __getstate__(self):
+                    state = dict(self.__dict__)
+                    state["_lock"] = None
+                    return state
+                def put(self, k, v):
+                    with self._lock:
+                        self.items[k] = v
+            """
+        ) == set()
+
+    def test_locked_suffix_convention(self):
+        # *_locked helpers are contractually called with the lock held.
+        assert rules_of(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.entries = {}
+                def trim(self):
+                    with self._lock:
+                        self._evict_locked()
+                def _evict_locked(self):
+                    self.entries.clear()
+            """
+        ) == set()
+
+    def test_never_guarded_attr_quiet(self):
+        # An attribute no site guards is not part of the lock's domain.
+        assert rules_of(
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.name = "w"
+                def rename(self, name):
+                    self.name = name
+            """
+        ) == set()
+
+
+class TestUnbalancedAcquire:
+    def test_acquire_without_release_error(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import threading
+                lock = threading.Lock()
+
+                def bad():
+                    lock.acquire()
+                    work()
+                """
+            ),
+            select=["REPRO202"],
+        )
+        assert [f.severity for f in findings] == [Severity.ERROR]
+
+    def test_release_outside_finally_warning(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import threading
+                lock = threading.Lock()
+
+                def meh():
+                    lock.acquire()
+                    work()
+                    lock.release()
+                """
+            ),
+            select=["REPRO202"],
+        )
+        assert [f.severity for f in findings] == [Severity.WARNING]
+
+    def test_try_finally_clean(self):
+        assert rules_of(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def ok():
+                lock.acquire()
+                try:
+                    work()
+                finally:
+                    lock.release()
+            """
+        ) == set()
+
+    def test_nonblocking_trylock_exempt(self):
+        assert rules_of(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def trylock():
+                if lock.acquire(blocking=False):
+                    lock.release()
+
+            def timed():
+                if lock.acquire(timeout=0.5):
+                    lock.release()
+            """
+        ) == set()
+
+    def test_release_never_acquired_warning(self):
+        assert "REPRO202" in rules_of(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def handoff():
+                lock.release()
+            """
+        )
+
+
+class TestBlockingCallUnderLock:
+    def test_sleep_socket_pickle_under_lock(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import pickle
+                import threading
+                import time
+
+                class S:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.blobs = {}
+                    def slow(self, sock, payload):
+                        with self._lock:
+                            time.sleep(1)
+                            sock.recv(1024)
+                            self.blobs["x"] = pickle.dumps(payload)
+                """
+            ),
+            select=["REPRO203"],
+        )
+        assert len(findings) == 3
+
+    def test_blocking_outside_lock_clean(self):
+        assert rules_of(
+            """
+            import threading
+            import time
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def fast(self):
+                    time.sleep(0.1)
+                    with self._lock:
+                        self.n += 1
+            """,
+            select=["REPRO203"],
+        ) == set()
+
+    def test_condition_wait_on_held_lock_exempt(self):
+        # Condition.wait releases the lock it is built on; not a stall.
+        assert rules_of(
+            """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self.items = []
+                def take(self):
+                    with self._ready:
+                        while not self.items:
+                            self._ready.wait()
+                        return self.items.pop()
+            """,
+            select=["REPRO203"],
+        ) == set()
+
+    def test_queue_get_under_lock_flagged(self):
+        assert "REPRO203" in rules_of(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def drain(work_queue):
+                with lock:
+                    return work_queue.get()
+            """,
+            select=["REPRO203"],
+        )
+
+
+class TestLockOrderInconsistency:
+    def test_single_module_inversion(self):
+        assert "REPRO204" in rules_of(
+            """
+            import threading
+            a = threading.Lock()
+            b = threading.Lock()
+
+            def fwd():
+                with a:
+                    with b:
+                        pass
+
+            def bwd():
+                with b:
+                    with a:
+                        pass
+            """
+        )
+
+    def test_consistent_order_clean(self):
+        assert rules_of(
+            """
+            import threading
+            a = threading.Lock()
+            b = threading.Lock()
+
+            def one():
+                with a:
+                    with b:
+                        pass
+
+            def two():
+                with a:
+                    with b:
+                        pass
+            """
+        ) == set()
+
+    def test_cross_module_inversion(self, tmp_path):
+        # Class-qualified labels (Broker._state_lock) are shared across
+        # modules, so the program-level pass can join per-file graphs:
+        # neither module is inconsistent alone, together they cycle.
+        (tmp_path / "fwd.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Broker:
+                    def __init__(self):
+                        self._state_lock = threading.Lock()
+                        self._cache_lock = threading.Lock()
+                    def publish(self):
+                        with self._state_lock:
+                            with self._cache_lock:
+                                pass
+                """
+            )
+        )
+        (tmp_path / "bwd.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Broker:
+                    def __init__(self):
+                        self._state_lock = threading.Lock()
+                        self._cache_lock = threading.Lock()
+                    def evict(self):
+                        with self._cache_lock:
+                            with self._state_lock:
+                                pass
+                """
+            )
+        )
+        report = lint_paths([tmp_path], select=["REPRO204"])
+        assert {f.rule for f in report.all_findings} == {"REPRO204"}
+        assert {f.path.rsplit("/", 1)[-1] for f in report.all_findings} == {
+            "fwd.py",
+            "bwd.py",
+        }
+
+    def test_cross_module_inversion_on_local_locks(self, tmp_path):
+        (tmp_path / "shared.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+                cache_lock = threading.Lock()
+                state_lock = threading.Lock()
+
+                def fwd():
+                    with cache_lock:
+                        with state_lock:
+                            pass
+                """
+            )
+        )
+        (tmp_path / "other.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+                cache_lock = threading.Lock()
+                state_lock = threading.Lock()
+
+                def bwd():
+                    with state_lock:
+                        with cache_lock:
+                            pass
+                """
+            )
+        )
+        # Labels are per-module (path-qualified), so two files using their
+        # *own* locks never produce a false shared cycle.
+        report = lint_paths([tmp_path], select=["REPRO204"])
+        assert [f.rule for f in report.all_findings] == []
+
+    def test_method_level_inversion_in_class(self):
+        assert "REPRO204" in rules_of(
+            """
+            import threading
+
+            class Broker:
+                def __init__(self):
+                    self._state_lock = threading.Lock()
+                    self._cache_lock = threading.Lock()
+                def publish(self):
+                    with self._state_lock:
+                        with self._cache_lock:
+                            pass
+                def evict(self):
+                    with self._cache_lock:
+                        with self._state_lock:
+                            pass
+            """
+        )
+
+
+class TestConditionWaitNoPredicate:
+    def test_bare_wait_flagged(self):
+        assert "REPRO205" in rules_of(
+            """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self.items = []
+                def take(self):
+                    with self._ready:
+                        self._ready.wait()
+                        return self.items.pop()
+            """
+        )
+
+    def test_while_predicate_clean(self):
+        assert "REPRO205" not in rules_of(
+            """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self.items = []
+                def take(self):
+                    with self._ready:
+                        while not self.items:
+                            self._ready.wait()
+                        return self.items.pop()
+            """
+        )
+
+    def test_wait_for_exempt(self):
+        assert "REPRO205" not in rules_of(
+            """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self.items = []
+                def take(self):
+                    with self._ready:
+                        self._ready.wait_for(lambda: self.items)
+                        return self.items.pop()
+            """
+        )
+
+    def test_event_wait_not_a_condition(self):
+        # Event.wait has no predicate contract; must not be flagged.
+        assert rules_of(
+            """
+            import threading
+            done = threading.Event()
+
+            def block():
+                done.wait()
+            """,
+            select=["REPRO205"],
+        ) == set()
+
+
+class TestLockInStageClosure:
+    def test_captured_lock_error(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import threading
+                lock = threading.Lock()
+
+                def stage(rdd):
+                    def task(x):
+                        with lock:
+                            return x
+                    return rdd.map(task)
+                """
+            ),
+            select=["REPRO206"],
+        )
+        assert [f.severity for f in findings] == [Severity.ERROR]
+
+    def test_captured_self_of_lock_owner_warning(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Pipeline:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.seen = 0
+                    def run(self, rdd):
+                        return rdd.map(lambda x: (self, x))
+                """
+            ),
+            select=["REPRO206"],
+        )
+        assert [f.severity for f in findings] == [Severity.WARNING]
+
+    def test_lockless_capture_clean(self):
+        assert rules_of(
+            """
+            def stage(rdd, factor):
+                return rdd.map(lambda x: x * factor)
+            """,
+            select=["REPRO206"],
+        ) == set()
+
+    def test_suppression_works(self):
+        assert rules_of(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def stage(rdd):
+                def task(x):  # repro: noqa[REPRO206]
+                    with lock:
+                        return x
+                return rdd.map(task)
+            """,
+            select=["REPRO206"],
+        ) == set()
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean(self):
+        report = lint_paths(["src/repro"], select=CONCURRENCY)
+        assert report.files_checked > 100
+        assert [str(f) for f in report.all_findings] == []

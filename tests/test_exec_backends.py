@@ -277,7 +277,8 @@ class TestProcessBackendSpecifics:
 
         lock = threading.Lock()
 
-        def unshippable(partition: int) -> list:
+        # The lock capture is the point of the test.
+        def unshippable(partition: int) -> list:  # repro: noqa[REPRO206]
             with lock:  # closure over a lock: not picklable, even by cloudpickle
                 return [partition]
 

@@ -1,0 +1,306 @@
+"""The runtime lock-order sanitizer (`repro.engine.lockwatch`)."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine import EngineContext, LockOrderViolation, lockwatch
+from repro.obs import Tracer, installed
+
+
+@pytest.fixture(autouse=True)
+def _fresh_install_state():
+    """Isolate from strict-mode tests elsewhere in the suite.
+
+    ``EngineContext(strict=True)`` installs the watcher process-wide and
+    deliberately leaves it on; these tests assert install/uninstall
+    transitions, so start uninstalled and restore the prior state after.
+    """
+    was = lockwatch.is_installed()
+    lockwatch.uninstall()
+    yield
+    if was:
+        lockwatch.install()
+    else:
+        lockwatch.uninstall()
+
+
+class TestOrderGraph:
+    def test_lock_order_inversion_detected(self):
+        """The seeded-inversion regression: two threads, opposite nesting.
+
+        Runs the threads sequentially (join between them) so the cycle is
+        detected from the order *graph*, never from an actual deadlock —
+        fully deterministic.
+        """
+        with lockwatch.enabled() as watch:
+            a = lockwatch.watched(name="a")
+            b = lockwatch.watched(name="b")
+
+            def forward():
+                with a:
+                    with b:
+                        pass
+
+            def backward():
+                with b:
+                    with a:
+                        pass
+
+            t1 = threading.Thread(target=forward)
+            t1.start()
+            t1.join()
+            t2 = threading.Thread(target=backward)
+            t2.start()
+            t2.join()
+
+            snap = watch.snapshot()
+            assert [v["kind"] for v in snap["violations"]] == ["lock-order-cycle"]
+            cycle = snap["violations"][0]["cycle"]
+            assert set(cycle) == {"a", "b"}
+            assert snap["edges"] == {"a": ["b"], "b": ["a"]}
+
+    def test_cycle_reported_once(self):
+        with lockwatch.enabled() as watch:
+            a = lockwatch.watched(name="a")
+            b = lockwatch.watched(name="b")
+            with a:
+                with b:
+                    pass
+            for _ in range(3):
+                with b:
+                    with a:
+                        pass
+            assert len(watch.snapshot()["violations"]) == 1
+
+    def test_consistent_order_clean(self):
+        with lockwatch.enabled() as watch:
+            a = lockwatch.watched(name="a")
+            b = lockwatch.watched(name="b")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+            assert watch.snapshot()["violations"] == []
+
+    def test_three_lock_cycle(self):
+        with lockwatch.enabled() as watch:
+            a = lockwatch.watched(name="a")
+            b = lockwatch.watched(name="b")
+            c = lockwatch.watched(name="c")
+            with a:
+                with b:
+                    pass
+            with b:
+                with c:
+                    pass
+            with c:
+                with a:
+                    pass
+            violations = watch.snapshot()["violations"]
+            assert [v["kind"] for v in violations] == ["lock-order-cycle"]
+            assert set(violations[0]["cycle"]) == {"a", "b", "c"}
+
+    def test_raise_on_cycle(self):
+        with lockwatch.enabled(raise_on_cycle=True):
+            a = lockwatch.watched(name="a")
+            b = lockwatch.watched(name="b")
+            with a:
+                with b:
+                    pass
+            with b:
+                with pytest.raises(LockOrderViolation) as exc:
+                    with a:
+                        pass
+                assert set(exc.value.cycle) == {"a", "b"}
+            # The failed acquire must not leave `a` held.
+            assert not a.locked()
+
+
+class TestSelfDeadlock:
+    def test_blocking_reacquire_raises(self):
+        with lockwatch.enabled() as watch:
+            lk = lockwatch.watched(name="x")
+            lk.acquire()
+            try:
+                with pytest.raises(LockOrderViolation):
+                    lk.acquire()
+            finally:
+                lk.release()
+            assert [v["kind"] for v in watch.snapshot()["violations"]] == [
+                "self-deadlock"
+            ]
+
+    def test_nonblocking_reacquire_returns_false(self):
+        # Condition's default _is_owned probes with acquire(0); the probe
+        # must stay a plain False, not a violation.
+        with lockwatch.enabled() as watch:
+            lk = lockwatch.watched(name="x")
+            lk.acquire()
+            try:
+                assert lk.acquire(blocking=False) is False
+            finally:
+                lk.release()
+            assert watch.snapshot()["violations"] == []
+
+    def test_rlock_reentry_allowed(self):
+        with lockwatch.enabled() as watch:
+            lk = lockwatch.watched(threading.RLock(), name="r")
+            with lk:
+                with lk:
+                    pass
+            snap = watch.snapshot()
+            assert snap["violations"] == []
+            # Reentry is one logical acquisition of the site.
+            assert snap["sites"]["r"]["acquisitions"] == 1
+
+
+class TestStatsAndTracer:
+    def test_site_stats_recorded(self):
+        with lockwatch.enabled() as watch:
+            lk = lockwatch.watched(name="s")
+            for _ in range(5):
+                with lk:
+                    pass
+            stats = watch.snapshot()["sites"]["s"]
+            assert stats["acquisitions"] == 5
+            assert stats["contended"] == 0
+            assert stats["hold_seconds"] >= 0.0
+
+    def test_contention_measured(self):
+        with lockwatch.enabled() as watch:
+            lk = lockwatch.watched(name="c")
+            entered = threading.Event()
+            release = threading.Event()
+
+            def holder():
+                with lk:
+                    entered.set()
+                    release.wait(timeout=5)
+
+            t = threading.Thread(target=holder)
+            t.start()
+            entered.wait(timeout=5)
+            acquired = []
+
+            def contender():
+                with lk:
+                    acquired.append(True)
+
+            t2 = threading.Thread(target=contender)
+            t2.start()
+            release.set()
+            t2.join()
+            t.join()
+            stats = watch.snapshot()["sites"]["c"]
+            assert acquired == [True]
+            assert stats["contended"] >= 1
+            assert stats["wait_seconds"] > 0.0
+
+    def test_counters_and_spans_reach_tracer(self):
+        tracer = Tracer()
+        with installed(tracer):
+            with lockwatch.enabled() as watch:
+                watch.hold_threshold = 0.0  # every hold exports a span
+                lk = lockwatch.watched(name="t")
+                with lk:
+                    pass
+        assert tracer.counters["lock_acquisitions"] == 1
+        assert "lock_hold_seconds" in tracer.counters
+        holds = [s for s in tracer.spans if s.name == "lock-hold"]
+        assert len(holds) == 1
+        assert holds[0].args["site"] == "t"
+
+    def test_condition_compatible(self):
+        with lockwatch.enabled() as watch:
+            lk = lockwatch.watched(name="cond-lock")
+            cond = threading.Condition(lk)
+            done = []
+
+            def waiter():
+                with cond:
+                    while not done:
+                        cond.wait(timeout=5)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            with cond:
+                done.append(1)
+                cond.notify()
+            t.join()
+            snap = watch.snapshot()
+            assert snap["violations"] == []
+            assert snap["sites"]["cond-lock"]["acquisitions"] >= 2
+
+
+class TestInstallation:
+    def test_install_wraps_repro_module_locks(self):
+        with lockwatch.enabled():
+            from repro.serve.cache import ResultCache
+
+            cache = ResultCache()
+            assert type(cache._lock).__name__ == "_WatchedLock"
+
+    def test_non_repro_locks_stay_raw(self):
+        with lockwatch.enabled():
+            assert type(threading.Lock()).__name__ != "_WatchedLock"
+
+    def test_uninstall_restores(self):
+        with lockwatch.enabled():
+            assert lockwatch.is_installed()
+        assert not lockwatch.is_installed()
+        from repro.serve.cache import ResultCache
+
+        assert type(ResultCache()._lock).__name__ != "_WatchedLock"
+
+    def test_watched_lock_refuses_pickle(self):
+        lk = lockwatch.watched(name="p")
+        with pytest.raises(TypeError, match="cannot pickle"):
+            pickle.dumps(lk)
+
+    def test_env_enabled_parsing(self, monkeypatch):
+        for value, expected in [
+            ("1", True),
+            ("true", True),
+            ("ON", True),
+            ("0", False),
+            ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_LOCK_SANITIZER", value)
+            assert lockwatch.env_enabled() is expected
+        monkeypatch.delenv("REPRO_LOCK_SANITIZER")
+        assert lockwatch.env_enabled() is False
+
+    def test_strict_context_installs(self):
+        was = lockwatch.is_installed()
+        try:
+            ctx = EngineContext(strict=True)
+            assert lockwatch.is_installed()
+            # The sanitized engine still runs pipelines.
+            assert ctx.parallelize(range(10), 4).map(lambda x: x * 2).sum() == 90
+        finally:
+            if not was:
+                lockwatch.uninstall()
+
+    def test_engine_runs_under_sanitizer(self):
+        with lockwatch.enabled() as watch:
+            ctx = EngineContext(default_parallelism=4, backend="thread")
+            total = ctx.parallelize(range(100), 8).map(lambda x: x + 1).sum()
+            assert total == 5050
+            assert watch.snapshot()["violations"] == []
+
+    def test_format_report_lists_everything(self):
+        with lockwatch.enabled() as watch:
+            a = lockwatch.watched(name="ra")
+            b = lockwatch.watched(name="rb")
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+            text = lockwatch.format_report(watch.snapshot())
+        assert "ra -> rb" in text
+        assert "violations: 1" in text
+        assert "lock-order-cycle" in text
