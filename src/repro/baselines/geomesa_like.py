@@ -140,10 +140,7 @@ class GeoMesaLike:
                 continue
             raw = (directory / block["filename"]).read_bytes()
             records = pickle.loads(raw)
-            stats.partitions_read += 1
-            stats.records_loaded += len(records)
-            stats.bytes_read += len(raw)
-            stats.files.append(block["filename"])
+            stats.note_block(block["filename"], len(records), len(raw))
             partitions.append(records)
         self.last_load_stats = stats
         loaded = ctx.from_partitions(partitions or [[]])

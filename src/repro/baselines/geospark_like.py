@@ -65,9 +65,7 @@ class GeoSparkLike:
             raw = path.read_bytes()
             records = pickle.loads(raw)
             stats.partitions_total += 1
-            stats.partitions_read += 1
-            stats.records_loaded += len(records)
-            stats.bytes_read += len(raw)
+            stats.note_block(path.name, len(records), len(raw))
             partitions.append(records)
         self.last_load_stats = stats
         return ctx.from_partitions(partitions or [[]])

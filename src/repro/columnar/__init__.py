@@ -35,6 +35,7 @@ from repro.columnar.cache import (
     partition_boxtable,
     partition_packed_tree,
     partition_rtree,
+    seed_partition_boxtable,
     selection_cache,
 )
 from repro.columnar.packed_rtree import PackedRTree, packed_tree_from_boxes
@@ -69,6 +70,7 @@ __all__ = [
     "partition_boxtable",
     "partition_packed_tree",
     "partition_rtree",
+    "seed_partition_boxtable",
     "selection_cache",
     "selection_index",
 ]

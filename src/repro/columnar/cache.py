@@ -148,6 +148,26 @@ class PartitionIndexCache:
             self._evict_locked()
         return value, False
 
+    def put(self, partition: list, kind: Hashable, value: Any) -> None:
+        """Store a ready-made index for ``partition`` without building.
+
+        The seeding entry point for indexes that arrive from outside the
+        builder path — above all the mmapped BoxTables a v2 block hands
+        back at decode time: the serve daemon plants them here so the
+        first query over a freshly resident partition hits instead of
+        re-extracting bounds instance-by-instance.  Counted as neither
+        hit nor miss (no lookup happened).
+        """
+        key = (id(partition), kind)
+        size = _value_nbytes(value)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.bytes -= previous[2]
+            self._entries[key] = (partition, value, size)
+            self.bytes += size
+            self._evict_locked()
+
     def clear(self) -> None:
         """Drop every entry (and the strong partition references)."""
         with self._lock:
@@ -200,6 +220,16 @@ def partition_boxtable(partition: list):
     from repro.columnar.boxtable import BoxTable
 
     return _SELECTION_CACHE.get_or_build(partition, "boxtable", BoxTable.from_instances)
+
+
+def seed_partition_boxtable(partition: list, table) -> None:
+    """Plant a ready-made BoxTable for ``partition`` (v2 mmapped columns).
+
+    Subsequent :func:`partition_boxtable` calls for the *same list object*
+    hit immediately; :func:`partition_packed_tree` then builds its tree
+    over the seeded (mmapped) coordinates rather than re-extracted ones.
+    """
+    _SELECTION_CACHE.put(partition, "boxtable", table)
 
 
 def partition_packed_tree(partition: list, capacity: int = 32):

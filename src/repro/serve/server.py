@@ -44,6 +44,7 @@ from typing import Any
 from repro.columnar.cache import (
     configure_selection_cache,
     invalidate_partition_indexes,
+    seed_partition_boxtable,
     selection_cache,
 )
 from repro.core.selector import Selector
@@ -88,6 +89,9 @@ class ServeConfig:
     index: bool = True
     use_columnar: bool = True
     allow_shutdown: bool = True
+    #: "raise" answers queries over an undecodable block with an error;
+    #: "quarantine" skips the block (partial answers, counted in stats).
+    on_corrupt: str = "raise"
 
 
 class DatasetState:
@@ -102,14 +106,21 @@ class DatasetState:
     again and would only squat on the byte budget.
     """
 
-    def __init__(self, directory: str | Path, max_resident_blocks: int = 4096):
+    def __init__(
+        self,
+        directory: str | Path,
+        max_resident_blocks: int = 4096,
+        on_corrupt: str = "raise",
+    ):
         self.dataset = StDataset(directory)
         self.max_resident_blocks = max_resident_blocks
+        self.on_corrupt = on_corrupt
         self._lock = threading.Lock()
         self._blocks: dict[str, list] = {}
         self._block_order: list[str] = []
         self.blocks_loaded = 0
         self.block_evictions = 0
+        self.blocks_quarantined = 0
         self.refreshes = 0
         self.invalidations = 0
         self.meta: DatasetMetadata = self.dataset.metadata()
@@ -157,10 +168,19 @@ class DatasetState:
         thread would stall on the lock for the duration).  Two threads
         missing on the same block may both decode it; the second store is
         dropped so all callers share one resident object per filename.
+
+        For v2 datasets each decode also yields a BoxTable whose extent
+        columns are views into the mmapped block file; it is seeded into
+        the selection-index cache against the *adopted* resident list, so
+        the first query over a fresh block already hits the columnar
+        index.  Under ``on_corrupt="quarantine"`` an undecodable block
+        answers as empty (and is counted, never cached, so a repaired
+        file is picked up on the next query).
         """
         with self._lock:
             meta_snapshot = self.meta
             codec = meta_snapshot.codec
+            block_format = meta_snapshot.block_format
             selected = meta_snapshot.select_partitions(spatial, temporal)
             total = len(meta_snapshot.partitions)
             blocks: dict[str, list] = {}
@@ -175,13 +195,30 @@ class DatasetState:
                     self._block_order.append(meta.filename)
                     blocks[meta.filename] = block
         decoded = {
-            meta.filename: self.dataset.read_block(meta, codec=codec)
+            meta.filename: self.dataset.read_block_indexed(
+                meta,
+                codec=codec,
+                block_format=block_format,
+                on_corrupt=self.on_corrupt,
+            )
             for meta in misses
+        }
+        quarantined = {
+            meta.filename
+            for meta in misses
+            if meta.count > 0 and not decoded[meta.filename][0]
         }
         if decoded:
             with self._lock:
-                for filename, block in decoded.items():
+                for filename, (block, table) in decoded.items():
                     blocks[filename] = block
+                    if filename in quarantined:
+                        # Selected partitions always have count > 0, so an
+                        # empty decode means the block was quarantined:
+                        # answer without it, never cache it — a repaired
+                        # file must be re-read next query.
+                        self.blocks_quarantined += 1
+                        continue
                     if self.meta is not meta_snapshot:
                         # A refresh() swapped the dataset mid-decode; the
                         # answer (built from the old snapshot) is still
@@ -197,6 +234,11 @@ class DatasetState:
                     self._blocks[filename] = block
                     self._block_order.append(filename)
                     self.blocks_loaded += 1
+                    if table is not None:
+                        # Key the mmapped BoxTable on the list object that
+                        # just became resident — exactly the identity the
+                        # Selector will probe the cache with.
+                        seed_partition_boxtable(block, table)
                     while len(self._block_order) > self.max_resident_blocks:
                         evicted = self._block_order.pop(0)
                         self._blocks.pop(evicted, None)
@@ -242,7 +284,9 @@ class QueryServer:
         self.directory = Path(directory)
         self.ctx = ctx or EngineContext()
         self.state = DatasetState(
-            self.directory, max_resident_blocks=self.config.max_resident_blocks
+            self.directory,
+            max_resident_blocks=self.config.max_resident_blocks,
+            on_corrupt=self.config.on_corrupt,
         )
         self.result_cache = ResultCache(max_bytes=self.config.cache_bytes)
         self.admission = AdmissionController(
@@ -547,6 +591,8 @@ class QueryServer:
                 "records": self.state.meta.total_records,
                 "resident_blocks": self.state.resident_blocks(),
                 "blocks_loaded": self.state.blocks_loaded,
+                "blocks_quarantined": self.state.blocks_quarantined,
+                "block_format": self.state.meta.block_format,
                 "invalidations": self.state.invalidations,
             },
         }

@@ -17,7 +17,8 @@ filesystem:
   CSV helpers including the ``ReadRaster`` structure reader of Section 3.4.
 """
 
-from repro.stio.metadata import DatasetMetadata, PartitionMeta
+from repro.stio.blockv2 import V2Block, encode_v2_block, open_v2_block, scan_v2_block
+from repro.stio.metadata import BLOCK_FORMATS, DatasetMetadata, PartitionMeta
 from repro.stio.dataset import StDataset, load_dataset, save_dataset
 from repro.stio.formats import (
     decode_record,
@@ -27,6 +28,7 @@ from repro.stio.formats import (
 )
 
 __all__ = [
+    "BLOCK_FORMATS",
     "DatasetMetadata",
     "PartitionMeta",
     "StDataset",
@@ -36,4 +38,8 @@ __all__ = [
     "decode_record",
     "read_raster_csv",
     "write_raster_csv",
+    "V2Block",
+    "encode_v2_block",
+    "open_v2_block",
+    "scan_v2_block",
 ]

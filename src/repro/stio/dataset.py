@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pickle
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
@@ -10,10 +11,16 @@ from typing import TYPE_CHECKING, Sequence
 from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.geometry.envelope import Envelope
-from repro.index.boxes import STBox
+from repro.index.boxes import STBox, st_query_box
 from repro.instances.base import Instance
+from repro.stio.blockv2 import encode_v2_block, open_v2_block, scan_v2_block
 from repro.stio.formats import decode_record, encode_record
-from repro.stio.metadata import METADATA_FILENAME, DatasetMetadata, PartitionMeta
+from repro.stio.metadata import (
+    BLOCK_FORMATS,
+    METADATA_FILENAME,
+    DatasetMetadata,
+    PartitionMeta,
+)
 from repro.temporal.duration import Duration
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,7 +32,9 @@ class LoadStats:
     """I/O accounting for one load — the currency of Figure 5.
 
     ``partitions_total`` vs ``partitions_read`` is the pruning ratio;
-    ``records_loaded`` is what Figure 5c/d plot as "memory loaded".
+    ``records_loaded`` is what Figure 5c/d plot as "memory loaded" — for
+    v2 blocks under query pushdown that is the rows whose payloads were
+    actually unpickled, which is the whole point of the format.
     ``partitions_selected`` is known at :meth:`StDataset.read` time (how
     many partitions survived metadata pruning), while ``partitions_read``
     counts the *distinct* block files deserialized so far — they converge
@@ -34,6 +43,10 @@ class LoadStats:
     double-counts a block.  ``partitions_quarantined``
     counts corrupt block files skipped under ``on_corrupt="quarantine"``
     (the graceful-degradation alternative to aborting the load).
+
+    All mutation goes through the ``note_*`` methods, which serialize on
+    an internal lock: the thread backend evaluates partitions of one load
+    concurrently, and unlocked ``+=`` on shared counters drops updates.
     """
 
     partitions_total: int = 0
@@ -41,9 +54,54 @@ class LoadStats:
     partitions_read: int = 0
     records_loaded: int = 0
     bytes_read: int = 0
-    files: list[str] = field(default_factory=list)
+    files: set[str] = field(default_factory=set)
     partitions_quarantined: int = 0
     quarantined_files: list[str] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def seen(self, filename: str) -> bool:
+        """Has this block already been accounted?"""
+        with self._lock:
+            return filename in self.files
+
+    def note_block(self, filename: str, records: int, nbytes: int) -> bool:
+        """Account one decoded block exactly once; True when newly counted.
+
+        Dedupe on filename (an O(1) set probe, not a list scan): lineage
+        recomputation — a second shuffle pass, a retry, a post-demotion
+        re-evaluation — re-reads the same block, but "memory loaded"
+        counts each block once, identically on every backend.
+        """
+        with self._lock:
+            if filename in self.files:
+                return False
+            self.files.add(filename)
+            self.partitions_read += 1
+            self.records_loaded += records
+            self.bytes_read += nbytes
+            return True
+
+    def note_quarantined(self, filename: str) -> None:
+        """Count one undecodable block skipped under ``on_corrupt="quarantine"``."""
+        with self._lock:
+            if filename not in self.quarantined_files:
+                self.partitions_quarantined += 1
+                self.quarantined_files.append(filename)
+
+    def __getstate__(self) -> dict:
+        # Ships inside stage closures to process workers; the lock stays
+        # behind (worker-side stats are a throwaway copy anyway — see
+        # _DiskPartitionRDD.__getstate__).
+        state = {k: getattr(self, k) for k in self.__dataclass_fields__}
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._lock = threading.Lock()
 
 
 class _DiskPartitionRDD(RDD):
@@ -57,6 +115,13 @@ class _DiskPartitionRDD(RDD):
     memory* after a clean read, so injected corruption is transient: the
     retry's re-read recovers, and quarantine stays reserved for genuinely
     bad on-disk blocks.
+
+    For ``block_format="v2"`` with a ``query_box``, the compute is the
+    pruned-load fast path: mmap the extent columns, run the vectorized
+    mask straight off disk, and unpickle payload bytes only for surviving
+    rows.  Shipping this RDD to a process worker moves the directory path
+    and partition metadata — never block bytes; each worker mmaps its own
+    blocks locally.
     """
 
     def __init__(
@@ -67,6 +132,8 @@ class _DiskPartitionRDD(RDD):
         stats: LoadStats,
         codec: str = "tuple",
         on_corrupt: str = "raise",
+        block_format: str = "v1",
+        query_box: STBox | None = None,
     ):
         super().__init__(ctx, max(1, len(metas)))
         self._directory = directory
@@ -74,12 +141,37 @@ class _DiskPartitionRDD(RDD):
         self._stats = stats
         self._codec = codec
         self._on_corrupt = on_corrupt
+        self._block_format = block_format
+        self._query_box = query_box
+
+    def _inject_corrupt_read(self, path: Path) -> None:
+        """Honor an active fault plan's ``corrupt_read`` rules.
+
+        v1 mangles the actually-read bytes; v2 never reads the whole file,
+        so the plan decides on a small probe instead — the decision (and
+        its per-file read counter) depends only on the path, keeping chaos
+        runs format-agnostic.  Raising instead of decoding garbage means
+        the retry loop's re-read sees the (clean) on-disk bytes and
+        recovers.
+        """
+        plan = getattr(self.ctx, "fault_plan", None)
+        if plan is None:
+            return
+        probe = b"stb2"
+        if plan.corrupt_read(path, probe) is not probe:
+            from repro.engine.errors import InjectedFault
+
+            raise InjectedFault(
+                f"injected corrupt read of {path.name}", site=path.name
+            )
 
     def _compute(self, split: int) -> list:
         if not self._metas:
             return []
         meta = self._metas[split]
         path = self._directory / meta.filename
+        if self._block_format == "v2":
+            return self._compute_v2(meta, path)
         raw = path.read_bytes()
         plan = getattr(self.ctx, "fault_plan", None)
         if plan is not None:
@@ -99,38 +191,60 @@ class _DiskPartitionRDD(RDD):
             from repro.engine.errors import CorruptPartitionError
 
             if self._on_corrupt == "quarantine":
-                self._stats.partitions_quarantined += 1
-                self._stats.quarantined_files.append(meta.filename)
+                self._stats.note_quarantined(meta.filename)
                 return []
             raise CorruptPartitionError(meta.filename, repr(exc)) from exc
-        if meta.filename not in self._stats.files:
-            # Dedupe on filename: lineage recomputation (a second shuffle
-            # pass, a retry, a post-demotion re-evaluation) re-reads the
-            # same block, but "memory loaded" — the Figure 5 currency —
-            # counts each block once, identically on every backend.
-            self._stats.partitions_read += 1
-            self._stats.records_loaded += len(records)
-            self._stats.bytes_read += len(raw)
-            self._stats.files.append(meta.filename)
+        self._stats.note_block(meta.filename, len(records), len(raw))
         if self._codec == "pickle":
             return list(records)
         return [decode_record(r) for r in records]
 
+    def _compute_v2(self, meta: PartitionMeta, path: Path) -> list:
+        self._inject_corrupt_read(path)
+        try:
+            block = open_v2_block(path)
+            if self._query_box is not None and block.filterable:
+                rows = block.candidate_rows(self._query_box)
+                records = block.decode_rows(rows, self._codec)
+                nbytes = block.index_nbytes + block.payload_nbytes(rows)
+            else:
+                records = block.decode_all(self._codec)
+                nbytes = block.index_nbytes + block.payload_nbytes()
+        except Exception as exc:
+            from repro.engine.errors import CorruptPartitionError
+
+            if self._on_corrupt == "quarantine":
+                self._stats.note_quarantined(meta.filename)
+                return []
+            raise CorruptPartitionError(meta.filename, repr(exc)) from exc
+        self._stats.note_block(meta.filename, len(records), nbytes)
+        return records
+
     def __getstate__(self):
         # Shipping this source to process workers means the blocks are read
         # worker-side, where mutations of the driver's LoadStats are
-        # invisible.  Account for the whole read now, from metadata — exact,
-        # since block count and file size equal what _compute observes.
-        # Per-file dedupe (not an all-or-nothing guard): after a backend
-        # demotion mid-job, some blocks may already have been read — and
-        # accounted — driver-side.
+        # invisible.  Account for the whole read now — exact: v1 from
+        # metadata (block count and file size equal what _compute
+        # observes), v2 by running the extent mask off the mmap without
+        # decoding any payload (scan_v2_block matches the worker's
+        # pushdown arithmetic).  Per-file dedupe (not an all-or-nothing
+        # guard): after a backend demotion mid-job, some blocks may
+        # already have been read — and accounted — driver-side.
         for meta in self._metas:
-            if meta.filename in self._stats.files:
+            if self._stats.seen(meta.filename):
                 continue
-            self._stats.partitions_read += 1
-            self._stats.records_loaded += meta.count
-            self._stats.bytes_read += (self._directory / meta.filename).stat().st_size
-            self._stats.files.append(meta.filename)
+            path = self._directory / meta.filename
+            try:
+                if self._block_format == "v2":
+                    records, nbytes = scan_v2_block(path, self._query_box)
+                else:
+                    records, nbytes = meta.count, path.stat().st_size
+            except Exception:
+                # An unreadable block is the worker's problem to surface
+                # (CorruptPartitionError / quarantine); don't let stats
+                # accounting break stage serialization.
+                continue
+            self._stats.note_block(meta.filename, records, nbytes)
         return dict(self.__dict__)
 
 
@@ -140,30 +254,42 @@ class StDataset:
     This is the engine-facing face of Section 4.1: :meth:`write` persists a
     partitioned layout with its boundaries, :meth:`read` returns a lazy RDD
     over only the partitions surviving metadata pruning.
+
+    Two block formats coexist (autodetected from the metadata on read):
+    ``"v1"`` pickles each partition whole (``part-*.pkl``), ``"v2"``
+    persists mmap-able extent columns plus per-row payload offsets
+    (``part-*.stb``, :mod:`repro.stio.blockv2`) so pruned loads decode
+    only matching rows.  :meth:`convert` rewrites between them.
     """
 
-    BLOCK_PATTERN = "part-{:05d}.pkl"
+    BLOCK_PATTERNS = {"v1": "part-{:05d}.pkl", "v2": "part-{:05d}.stb"}
+    #: Legacy alias (v1); prefer ``BLOCK_PATTERNS``.
+    BLOCK_PATTERN = BLOCK_PATTERNS["v1"]
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
+        self._meta_cache: tuple[tuple[int, int], DatasetMetadata] | None = None
 
     # -- writing ------------------------------------------------------------------
 
     @staticmethod
-    def _encode_block(records: Sequence, codec: str) -> bytes:
-        """One partition's on-disk bytes under ``codec``.
+    def _encode_block(records: Sequence, codec: str, block_format: str = "v1") -> bytes:
+        """One partition's on-disk bytes under ``codec`` + ``block_format``.
 
-        ``"tuple"`` routes through :func:`~repro.stio.formats.encode_record`
-        (compact, schema-checked); ``"pickle"`` stores records verbatim —
-        lossless for anything picklable, which is what checkpoints need
-        (replica flags, partial collective instances).
+        ``"tuple"`` routes records through
+        :func:`~repro.stio.formats.encode_record` (compact,
+        schema-checked); ``"pickle"`` stores records verbatim — lossless
+        for anything picklable, which is what checkpoints need (replica
+        flags, partial collective instances).
         """
+        if codec not in ("pickle", "tuple"):
+            raise ValueError(f"unknown block codec {codec!r}")
+        if block_format == "v2":
+            return encode_v2_block(records, codec)
         if codec == "pickle":
             encoded: list = list(records)
-        elif codec == "tuple":
-            encoded = [encode_record(r) for r in records]
         else:
-            raise ValueError(f"unknown block codec {codec!r}")
+            encoded = [encode_record(r) for r in records]
         return pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
 
     @staticmethod
@@ -186,6 +312,20 @@ class StDataset:
             return boundaries[index]
         return STBox((0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
 
+    @staticmethod
+    def _remove_orphan_blocks(directory: Path, keep: set[str]) -> None:
+        """Delete ``part-*`` block files the new metadata doesn't name.
+
+        An in-place rewrite with fewer partitions (or a format conversion,
+        which changes the extension) must not leave stale blocks behind:
+        they waste disk and poison glob-based tooling that enumerates
+        ``part-*`` files instead of reading the metadata.
+        """
+        for pattern in StDataset.BLOCK_PATTERNS.values():
+            for stale in directory.glob(pattern.replace("{:05d}", "*")):
+                if stale.name not in keep:
+                    stale.unlink()
+
     @classmethod
     def write(
         cls,
@@ -194,6 +334,7 @@ class StDataset:
         instance_type: str,
         boundaries: Sequence[STBox] | None = None,
         codec: str = "tuple",
+        block_format: str = "v1",
     ) -> "StDataset":
         """Persist partition lists and build the metadata index.
 
@@ -202,21 +343,30 @@ class StDataset:
         partitioner cells — are accepted for API parity but only used for
         partitions that hold no records.
         """
+        if block_format not in BLOCK_FORMATS:
+            raise ValueError(
+                f"unknown block format {block_format!r} "
+                f"(supported: {', '.join(BLOCK_FORMATS)})"
+            )
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        # Rewriting an existing dataset in place (re-index / repartition)
-        # is an edit like any other: continue its generation counter so
-        # long-lived readers keyed on it (the serve result cache) miss.
+        # Rewriting an existing dataset in place (re-index / repartition /
+        # format conversion) is an edit like any other: continue its
+        # generation counter so long-lived readers keyed on it (the serve
+        # result cache) miss.
         generation = 0
         if (directory / METADATA_FILENAME).exists():
             try:
                 generation = DatasetMetadata.load(directory).generation + 1
             except (ValueError, FileNotFoundError):
                 generation = 1
+        pattern = cls.BLOCK_PATTERNS[block_format]
         metas = []
         for i, records in enumerate(partitions):
-            filename = cls.BLOCK_PATTERN.format(i)
-            (directory / filename).write_bytes(cls._encode_block(records, codec))
+            filename = pattern.format(i)
+            (directory / filename).write_bytes(
+                cls._encode_block(records, codec, block_format)
+            )
             bounds = cls._block_bounds(records, boundaries, i, codec)
             metas.append(PartitionMeta(filename=filename, count=len(records), bounds=bounds))
         DatasetMetadata(
@@ -224,7 +374,9 @@ class StDataset:
             partitions=metas,
             codec=codec,
             generation=generation,
+            block_format=block_format,
         ).save(directory)
+        cls._remove_orphan_blocks(directory, {m.filename for m in metas})
         return cls(directory)
 
     @classmethod
@@ -235,6 +387,7 @@ class StDataset:
         instance_type: str,
         partitioner: "STPartitioner | None" = None,
         sample_fraction: float = 0.1,
+        block_format: str = "v1",
     ) -> "StDataset":
         """Optionally ST-partition an RDD, then persist it.
 
@@ -248,7 +401,11 @@ class StDataset:
                 rdd, sample_fraction=sample_fraction
             )
         return cls.write(
-            directory, rdd._collect_partitions(), instance_type, boundaries
+            directory,
+            rdd._collect_partitions(),
+            instance_type,
+            boundaries,
+            block_format=block_format,
         )
 
     def append(
@@ -261,16 +418,17 @@ class StDataset:
         The periodic-indexing workflow of Section 4.1's discussion:
         "application programmers may periodically index the new group of
         data and merge the metadata file with the existing ones."  New
-        block files continue the existing numbering; the metadata files
-        are merged.
+        block files continue the existing numbering and block format; the
+        metadata files are merged.
         """
         existing = self.metadata()
         offset = len(existing.partitions)
+        pattern = self.BLOCK_PATTERNS[existing.block_format]
         new_metas = []
         for i, records in enumerate(partitions):
-            filename = self.BLOCK_PATTERN.format(offset + i)
+            filename = pattern.format(offset + i)
             (self.directory / filename).write_bytes(
-                self._encode_block(records, existing.codec)
+                self._encode_block(records, existing.codec, existing.block_format)
             )
             bounds = self._block_bounds(records, boundaries, i, existing.codec)
             new_metas.append(
@@ -281,6 +439,7 @@ class StDataset:
                 instance_type=existing.instance_type,
                 partitions=new_metas,
                 codec=existing.codec,
+                block_format=existing.block_format,
             )
         )
         merged.save(self.directory)
@@ -300,28 +459,119 @@ class StDataset:
             )
         return self.append(rdd._collect_partitions(), boundaries)
 
+    def convert(
+        self, block_format: str, out: str | Path | None = None
+    ) -> "StDataset":
+        """Rewrite every block into ``block_format``; returns the result.
+
+        Partition layout, record order, codec, and per-partition bounds
+        are preserved exactly, so selections over the converted dataset
+        answer byte-for-byte identically.  With ``out=None`` the dataset
+        is converted in place (generation bumps, old-format blocks are
+        removed); otherwise a sibling copy is written and the source is
+        untouched.  Surfaced on the CLI as ``repro convert-format``.
+        """
+        meta = self.metadata()
+        partitions = [
+            self.read_block(m, codec=meta.codec, block_format=meta.block_format)
+            for m in meta.partitions
+        ]
+        return StDataset.write(
+            out if out is not None else self.directory,
+            partitions,
+            meta.instance_type,
+            boundaries=[m.bounds for m in meta.partitions],
+            codec=meta.codec,
+            block_format=block_format,
+        )
+
     # -- reading -------------------------------------------------------------------
 
     def metadata(self) -> DatasetMetadata:
-        """Load the dataset's metadata file."""
+        """Load the dataset's metadata file (always re-read from disk)."""
         return DatasetMetadata.load(self.directory)
 
-    def read_block(self, meta: PartitionMeta, codec: str | None = None) -> list:
+    def cached_metadata(self) -> DatasetMetadata:
+        """The parsed metadata, memoized on the file's stat signature.
+
+        One ``os.stat`` per call instead of a full read + JSON parse: the
+        hot paths (``read_block`` per block, the serve daemon per query)
+        re-validate cheaply and re-parse only when an append or rewrite
+        actually changed the file.  Handing out the same object on a hit
+        is safe — ``DatasetMetadata`` is treated as immutable everywhere.
+        """
+        stat = (self.directory / METADATA_FILENAME).stat()
+        signature = (stat.st_mtime_ns, stat.st_size)
+        cached = self._meta_cache
+        if cached is None or cached[0] != signature:
+            cached = (signature, DatasetMetadata.load(self.directory))
+            self._meta_cache = cached
+        return cached[1]
+
+    def read_block(
+        self,
+        meta: PartitionMeta,
+        codec: str | None = None,
+        block_format: str | None = None,
+        on_corrupt: str = "raise",
+    ) -> list:
         """Eagerly read and decode one partition's block file.
 
         The resident-block path of the ``repro serve`` daemon: unlike
         :meth:`read` (a lazy RDD that re-reads and re-decodes per
         evaluation), this returns a plain list the caller can keep — the
         stable list identity is what lets the per-partition
-        selection-index cache hit across queries.  ``codec`` defaults to
-        the dataset's metadata codec.
+        selection-index cache hit across queries.  ``codec`` and
+        ``block_format`` default to the dataset's metadata values via
+        :meth:`cached_metadata` (a stat, not a re-parse, per call);
+        callers holding the metadata should pass both.  An undecodable
+        block honors the same corruption contract as the lazy reader:
+        :class:`~repro.engine.errors.CorruptPartitionError` naming the
+        file, or an empty list under ``on_corrupt="quarantine"``.
         """
-        if codec is None:
-            codec = self.metadata().codec
-        records = pickle.loads((self.directory / meta.filename).read_bytes())
-        if codec == "pickle":
-            return list(records)
-        return [decode_record(r) for r in records]
+        records, _ = self.read_block_indexed(
+            meta, codec=codec, block_format=block_format, on_corrupt=on_corrupt
+        )
+        return records
+
+    def read_block_indexed(
+        self,
+        meta: PartitionMeta,
+        codec: str | None = None,
+        block_format: str | None = None,
+        on_corrupt: str = "raise",
+    ) -> tuple[list, object | None]:
+        """:meth:`read_block`, plus the block's columnar selection index.
+
+        For v2 blocks the second element is a
+        :class:`~repro.columnar.boxtable.BoxTable` whose extent columns
+        are *views into the mmapped file* — the serve daemon seeds the
+        selection-index cache with it, so resident partitions never
+        re-extract bounds instance-by-instance.  ``None`` for v1 blocks
+        and non-filterable v2 blocks.
+        """
+        if codec is None or block_format is None:
+            cached = self.cached_metadata()
+            codec = codec if codec is not None else cached.codec
+            block_format = (
+                block_format if block_format is not None else cached.block_format
+            )
+        path = self.directory / meta.filename
+        from repro.engine.errors import CorruptPartitionError
+
+        try:
+            if block_format == "v2":
+                block = open_v2_block(path)
+                records = block.decode_all(codec)
+                return records, block.boxtable(records)
+            records = pickle.loads(path.read_bytes())
+            if codec == "pickle":
+                return list(records), None
+            return [decode_record(r) for r in records], None
+        except Exception as exc:
+            if on_corrupt == "quarantine":
+                return [], None
+            raise CorruptPartitionError(meta.filename, repr(exc)) from exc
 
     def read(
         self,
@@ -336,14 +586,19 @@ class StDataset:
         ``use_metadata=False`` loads everything — the "native Spark" mode
         Figure 5 compares against.  The returned RDD still needs in-memory
         fine-grained filtering (step (3) of Figure 4); the Selector does
-        that with per-partition R-trees.  ``on_corrupt="quarantine"``
-        degrades gracefully on undecodable block files: the partition
-        loads empty and ``LoadStats.partitions_quarantined`` counts it,
-        instead of the default :class:`~repro.engine.errors.CorruptPartitionError`.
+        that with per-partition R-trees.  For v2 datasets a metadata-pruned
+        read additionally pushes the query box down to the block reader:
+        extent columns are mmapped, masked off disk, and only matching
+        rows' payloads are unpickled — the coarse mask is a superset of
+        the fine filter, so downstream results are unchanged.
+        ``on_corrupt="quarantine"`` degrades gracefully on undecodable
+        block files: the partition loads empty and
+        ``LoadStats.partitions_quarantined`` counts it, instead of the
+        default :class:`~repro.engine.errors.CorruptPartitionError`.
         """
         if on_corrupt not in ("raise", "quarantine"):
             raise ValueError("on_corrupt must be 'raise' or 'quarantine'")
-        meta = self.metadata()
+        meta = self.cached_metadata()
         if use_metadata:
             selected = meta.select_partitions(spatial, temporal)
         else:
@@ -352,8 +607,22 @@ class StDataset:
             partitions_total=len(meta.partitions),
             partitions_selected=len(selected),
         )
+        query_box = None
+        if (
+            use_metadata
+            and meta.block_format == "v2"
+            and (spatial is not None or temporal is not None)
+        ):
+            query_box = st_query_box(spatial, temporal)
         rdd = _DiskPartitionRDD(
-            ctx, self.directory, selected, stats, codec=meta.codec, on_corrupt=on_corrupt
+            ctx,
+            self.directory,
+            selected,
+            stats,
+            codec=meta.codec,
+            on_corrupt=on_corrupt,
+            block_format=meta.block_format,
+            query_box=query_box,
         )
         return rdd, stats
 
@@ -365,11 +634,14 @@ def save_dataset(
     partitioner: "STPartitioner | None" = None,
     num_partitions: int = 8,
     ctx: EngineContext | None = None,
+    block_format: str = "v1",
 ) -> StDataset:
     """Convenience writer from a plain instance list."""
     own_ctx = ctx or EngineContext(default_parallelism=num_partitions)
     rdd = own_ctx.parallelize(instances, num_partitions)
-    return StDataset.write_rdd(directory, rdd, instance_type, partitioner)
+    return StDataset.write_rdd(
+        directory, rdd, instance_type, partitioner, block_format=block_format
+    )
 
 
 def load_dataset(

@@ -12,6 +12,8 @@ from repro.temporal.duration import Duration
 
 METADATA_FILENAME = "metadata.json"
 FORMAT_VERSION = 1
+#: Known per-partition block encodings; see :mod:`repro.stio.blockv2`.
+BLOCK_FORMATS = ("v1", "v2")
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,13 @@ class DatasetMetadata:
     instances the tuple format cannot round-trip).  Absent in older
     metadata files, which are all tuple-encoded.
 
+    ``block_format`` names how partitions are laid out *as files*:
+    ``"v1"`` (one pickle per block, ``part-*.pkl``) or ``"v2"`` (the
+    mmap-able columnar layout of :mod:`repro.stio.blockv2`,
+    ``part-*.stb``).  Orthogonal to ``codec``, which names how individual
+    records encode *within* a block.  Absent in older metadata files,
+    which are all v1.
+
     ``generation`` is a monotonically increasing edit counter for the
     dataset *as a whole*: every append bumps it (see :meth:`merged_with`)
     and so does rewriting an existing directory in place (a re-index /
@@ -88,6 +97,7 @@ class DatasetMetadata:
     version: int = FORMAT_VERSION
     codec: str = "tuple"
     generation: int = 0
+    block_format: str = "v1"
 
     @property
     def total_records(self) -> int:
@@ -111,6 +121,7 @@ class DatasetMetadata:
             "version": self.version,
             "instance_type": self.instance_type,
             "codec": self.codec,
+            "block_format": self.block_format,
             "generation": self.generation,
             "partitions": [p.to_dict() for p in self.partitions],
         }
@@ -135,12 +146,19 @@ class DatasetMetadata:
                 f"metadata format {payload['version']} is newer than supported "
                 f"({FORMAT_VERSION})"
             )
+        block_format = payload.get("block_format", "v1")
+        if block_format not in BLOCK_FORMATS:
+            raise ValueError(
+                f"metadata file {path} names unsupported block format "
+                f"{block_format!r} (supported: {', '.join(BLOCK_FORMATS)})"
+            )
         return cls(
             instance_type=payload["instance_type"],
             partitions=[PartitionMeta.from_dict(d) for d in payload["partitions"]],
             version=payload["version"],
             codec=payload.get("codec", "tuple"),
             generation=int(payload.get("generation", 0)),
+            block_format=block_format,
         )
 
     def merged_with(self, other: "DatasetMetadata") -> "DatasetMetadata":
@@ -150,6 +168,8 @@ class DatasetMetadata:
             raise ValueError("cannot merge metadata of different instance types")
         if other.codec != self.codec:
             raise ValueError("cannot merge metadata of different block codecs")
+        if other.block_format != self.block_format:
+            raise ValueError("cannot merge metadata of different block formats")
         return DatasetMetadata(
             instance_type=self.instance_type,
             partitions=self.partitions + other.partitions,
@@ -157,4 +177,5 @@ class DatasetMetadata:
             # An append is an edit: cached answers against the old
             # generation must stop hitting.
             generation=self.generation + 1,
+            block_format=self.block_format,
         )

@@ -1,0 +1,186 @@
+"""CI smoke for the v1↔v2 block formats: conversion + output parity.
+
+What it proves, end to end, with real CLI subprocesses on the
+quickstart-sized dataset:
+
+1. **Conversion** — ``repro convert-format`` rewrites the quickstart v1
+   dataset to v2 (copy and in-place), removing the old-format blocks and
+   bumping the generation in place;
+2. **CLI parity** — ``repro select --format json`` answers byte-for-byte
+   identically over the v1 original, the converted copy, and the
+   in-place-converted dataset, for every probe query;
+3. **Serve parity** — a daemon over the v2 dataset returns the same
+   canonical result document as the one-shot CLI over the v1 original;
+4. **Pruned accounting** — a narrow v2 selection reports fewer records
+   deserialized than the dataset holds (the pushdown actually pruned).
+
+Run::
+
+    PYTHONPATH=src python tools/format_smoke.py
+
+Exit code 0 only when all four hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.common import EPOCH_2013  # noqa: E402
+from repro.serve import (  # noqa: E402
+    QueryServer,
+    ServeClient,
+    ServeConfig,
+    result_document,
+    wait_until_ready,
+)
+
+QUERIES = [
+    {"bbox": [-74.02, 40.60, -73.96, 40.70], "time": [EPOCH_2013, EPOCH_2013 + 10 * 86_400.0]},
+    {"bbox": [-74.00, 40.70, -73.92, 40.78], "time": [EPOCH_2013, EPOCH_2013 + 20 * 86_400.0]},
+    {"bbox": [-74.00, 40.70, -73.95, 40.76], "time": [EPOCH_2013, EPOCH_2013 + 10 * 86_400.0]},
+]
+
+
+def run_cli(*cli_args: str) -> str:
+    """One `repro` subprocess (the real CLI path); returns its stdout."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *cli_args],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        cwd=REPO_ROOT,
+    )
+    return result.stdout.strip()
+
+
+def select_json(dataset: Path, query: dict) -> str:
+    return run_cli(
+        "select", str(dataset),
+        "--bbox", *[str(v) for v in query["bbox"]],
+        "--time", *[str(v) for v in query["time"]],
+        "--format", "json",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=10_000)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="format-smoke-") as tmp:
+        v1 = Path(tmp) / "nyc-v1"
+        copy = Path(tmp) / "nyc-v2"
+        print(
+            f"[format-smoke] generating {args.records} quickstart-style events (v1)",
+            flush=True,
+        )
+        run_cli(
+            "generate", "nyc", "--records", str(args.records),
+            "--out", str(v1), "--block-format", "v1",
+        )
+        expected = [select_json(v1, q) for q in QUERIES]
+        for i, doc in enumerate(expected):
+            parsed = json.loads(doc)
+            if not parsed.get("count", len(parsed.get("records", []))):
+                failures.append(
+                    f"probe query {i} matched no records — parity would be trivial"
+                )
+
+        # 1: convert to a copy, then the original in place.
+        print(run_cli("convert-format", str(v1), "--to", "v2", "--out", str(copy)))
+        stale = sorted(p.name for p in copy.glob("part-*.pkl"))
+        if stale:
+            failures.append(f"converted copy kept v1 blocks: {stale}")
+
+        # 2: byte parity across all three layouts, every probe query.
+        for i, query in enumerate(QUERIES):
+            if select_json(copy, query) != expected[i]:
+                failures.append(f"query {i}: converted copy bytes != v1 bytes")
+        print(run_cli("convert-format", str(v1), "--to", "v2"))
+        if sorted(p.name for p in v1.glob("part-*.pkl")):
+            failures.append("in-place conversion left v1 blocks behind")
+        for i, query in enumerate(QUERIES):
+            if select_json(v1, query) != expected[i]:
+                failures.append(f"query {i}: in-place converted bytes != v1 bytes")
+        print(
+            f"[format-smoke] CLI parity over {len(QUERIES)} queries x "
+            f"3 layouts: {len(failures)} failures",
+            flush=True,
+        )
+
+        # 3: a daemon over the v2 copy answers the same bytes.
+        server = QueryServer(copy, ServeConfig(workers=2))
+        host, port = server.start()
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+        try:
+            wait_until_ready(host, port)
+            with ServeClient(host, port) as client:
+                for i, query in enumerate(QUERIES):
+                    response = client.query(
+                        bbox=query["bbox"], time_range=query["time"]
+                    )
+                    if response.get("status") != "ok":
+                        failures.append(f"serve query {i}: {response}")
+                    elif result_document(response) != expected[i]:
+                        failures.append(
+                            f"serve query {i}: served bytes != one-shot v1 bytes"
+                        )
+        finally:
+            server.stop()
+            serve_thread.join(timeout=5)
+        print("[format-smoke] serve parity over v2 checked", flush=True)
+
+        # 4: the narrow query's pruned accounting (text mode prints stats).
+        report = run_cli(
+            "select", str(copy),
+            "--bbox", *[str(v) for v in QUERIES[2]["bbox"]],
+            "--time", *[str(v) for v in QUERIES[2]["time"]],
+        )
+        print(report)
+        stats_line = next(
+            (line for line in report.splitlines() if "records deserialized" in line),
+            "",
+        )
+        try:
+            deserialized = int(
+                stats_line.split("records deserialized:")[1].split()[0].replace(",", "")
+            )
+        except (IndexError, ValueError):
+            deserialized = None
+        if deserialized is None:
+            failures.append(f"could not parse pruning stats: {report!r}")
+        elif deserialized >= args.records:
+            failures.append(
+                f"v2 pushdown deserialized every record ({deserialized}) on a "
+                f"narrow query — pruning is not working"
+            )
+        else:
+            print(
+                f"[format-smoke] narrow query deserialized {deserialized}/"
+                f"{args.records} records",
+                flush=True,
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"[format-smoke] FAIL: {failure}")
+        return 1
+    print("[format-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
