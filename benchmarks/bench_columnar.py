@@ -1,12 +1,14 @@
 """Scalar-vs-columnar speedup benchmark (``BENCH_columnar.json``).
 
-Times the three hot paths the :mod:`repro.columnar` kernels vectorize —
-selection filtering, partition-id assignment, and regular-structure
-singular→collective allocation — with ``use_columnar`` off vs on, over
-identical inputs, and records the speedups into ``BENCH_columnar.json``.
-Every workload also cross-checks parity (identical selected identities /
-partition ids / cell contents) so a timing row can never hide a wrong
-answer.
+Times the hot paths the :mod:`repro.columnar` kernels vectorize —
+selection filtering, partition-id assignment, regular-structure
+singular→collective allocation, and the end-to-end extraction phase
+(``extract_sm_flow`` over NYC events, ``extract_raster_speed`` over
+Porto trajectories, each fed by a real select→convert pipeline) — with
+``use_columnar`` off vs on, over identical inputs, and records the
+speedups into ``BENCH_columnar.json``.  Every workload also cross-checks
+parity (identical selected identities / partition ids / cell contents /
+extracted features) so a timing row can never hide a wrong answer.
 
 The ``cold_load_*`` workloads time the storage layer instead: a full
 metadata-pruned selection from *disk* over the same dataset written in
@@ -40,9 +42,24 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.core import Selector  # noqa: E402
 from repro.core.converters.base import AllocationStats, allocate  # noqa: E402
-from repro.core.structures import TimeSeriesStructure  # noqa: E402
-from repro.datasets import generate_nyc_events  # noqa: E402
+from repro.core.converters.singular_to_collective import (  # noqa: E402
+    Event2SmConverter,
+    Traj2RasterConverter,
+)
+from repro.core.extractors.raster import RasterSpeedExtractor  # noqa: E402
+from repro.core.extractors.spatialmap import SmFlowExtractor  # noqa: E402
+from repro.core.structures import (  # noqa: E402
+    RasterStructure,
+    SpatialMapStructure,
+    TimeSeriesStructure,
+)
+from repro.datasets import (  # noqa: E402
+    PORTO_BBOX,
+    generate_nyc_events,
+    generate_porto_trajectories,
+)
 from repro.datasets.common import EPOCH_2013  # noqa: E402
+from repro.datasets.porto import PORTO_START  # noqa: E402
 from repro.engine import EngineContext  # noqa: E402
 from repro.geometry import Envelope  # noqa: E402
 from repro.partitioners import TSTRPartitioner  # noqa: E402
@@ -59,6 +76,13 @@ QUERY_TEMPORAL = Duration(EPOCH_2013, EPOCH_2013 + 10 * 86_400.0)
 #: the regime the v2 pushdown targets (decode only matching rows).
 PRUNED_SPATIAL = Envelope(-73.99, 40.72, -73.96, 40.75)
 PRUNED_TEMPORAL = Duration(EPOCH_2013, EPOCH_2013 + 2 * 86_400.0)
+
+#: The trajectory extraction workload runs over Porto-shaped data — the
+#: paper's Figure 9 raster-speed case study.
+PORTO_SPATIAL = Envelope(
+    PORTO_BBOX.min_lon, PORTO_BBOX.min_lat, PORTO_BBOX.max_lon, PORTO_BBOX.max_lat
+)
+PORTO_TEMPORAL = Duration(PORTO_START, PORTO_START + 10 * 86_400.0)
 
 
 def _best_of(reps: int, fn) -> float:
@@ -141,6 +165,47 @@ def _bench_conversion_regular(events, reps):
     return timings[False], timings[True]
 
 
+def _bench_extraction(ctx, converted_parts, extractor_factory, reps):
+    """Extraction phase, scalar vs columnar, over a converted pipeline.
+
+    The workload is the paper's full select→convert→extract path; the
+    selection and conversion phases ran once up front (their scalar/
+    columnar comparison has its own rows above), so the timed section
+    isolates what ``use_columnar`` toggles here: the Extraction phase.
+    """
+    materialized = ctx.from_partitions(converted_parts)
+    features = {}
+    timings = {}
+    for columnar in (False, True):
+        extractor = extractor_factory()
+        extractor.use_columnar = columnar
+        features[columnar] = extractor.extract(materialized).cell_values()
+        timings[columnar] = _best_of(
+            reps, lambda e=extractor: e.extract(materialized)
+        )
+    if features[False] != features[True]:
+        raise AssertionError("extraction parity violation: scalar != columnar")
+    return timings[False], timings[True]
+
+
+def _extract_sm_flow_parts(ctx, events):
+    """select→convert partitions for the event flow extraction workload."""
+    structure = SpatialMapStructure.regular(QUERY_SPATIAL, 64, 64)
+    selected = Selector(QUERY_SPATIAL, QUERY_TEMPORAL).select(
+        ctx, ctx.parallelize(events, ctx.default_parallelism)
+    )
+    return Event2SmConverter(structure).convert(selected)._collect_partitions()
+
+
+def _extract_raster_speed_parts(ctx, trajectories):
+    """select→convert partitions for the raster-speed extraction workload."""
+    structure = RasterStructure.regular(PORTO_SPATIAL, PORTO_TEMPORAL, 8, 8, 40)
+    selected = Selector(PORTO_SPATIAL, PORTO_TEMPORAL).select(
+        ctx, ctx.parallelize(trajectories, ctx.default_parallelism)
+    )
+    return Traj2RasterConverter(structure).convert(selected)._collect_partitions()
+
+
 def _bench_cold_load(ctx, directories, reps, spatial, temporal):
     """Full disk selection, v1 vs v2 blocks, all process caches cold."""
     from repro.columnar.cache import invalidate_partition_indexes
@@ -161,18 +226,22 @@ def _bench_cold_load(ctx, directories, reps, spatial, temporal):
 
 
 def run_backend(
-    backend: str, events, reps: int, directories: dict[str, Path] | None = None
+    backend: str,
+    events,
+    reps: int,
+    directories: dict[str, Path] | None = None,
+    trajectories=None,
 ) -> list[dict]:
     ctx = EngineContext(default_parallelism=8, backend=backend)
     rows = []
 
-    def record(workload, pair):
+    def record(workload, pair, n=None):
         scalar_s, columnar_s = pair
         rows.append(
             {
                 "workload": workload,
                 "backend": backend,
-                "n": len(events),
+                "n": len(events) if n is None else n,
                 "scalar_s": round(scalar_s, 6),
                 "columnar_s": round(columnar_s, 6),
                 "speedup": round(scalar_s / columnar_s, 2) if columnar_s else None,
@@ -210,6 +279,23 @@ def run_backend(
         )
         record("partition_assign", _bench_partition_assign(events, reps))
         record("conversion_regular", _bench_conversion_regular(events, reps))
+        record(
+            "extract_sm_flow",
+            _bench_extraction(
+                ctx, _extract_sm_flow_parts(ctx, events), SmFlowExtractor, reps
+            ),
+        )
+        if trajectories is not None:
+            record(
+                "extract_raster_speed",
+                _bench_extraction(
+                    ctx,
+                    _extract_raster_speed_parts(ctx, trajectories),
+                    RasterSpeedExtractor,
+                    reps,
+                ),
+                n=len(trajectories),
+            )
         if directories is not None:
             record_format(
                 "cold_load_pruned",
@@ -260,6 +346,12 @@ def main(argv: list[str] | None = None) -> int:
 
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     events = generate_nyc_events(args.n, seed=101, days=30)
+    # Long trajectories (Porto-shaped) for the raster-speed extraction
+    # workload: the scalar path rescans every trajectory entry per cell,
+    # which is exactly the per-object cost the CellTable kernels remove.
+    trajectories = generate_porto_trajectories(
+        max(100, args.n // 50), seed=202, days=10, min_points=20, max_points=120
+    )
 
     import shutil
     import tempfile
@@ -281,7 +373,15 @@ def main(argv: list[str] | None = None) -> int:
         results = []
         for backend in backends:
             print(f"[bench-columnar] backend={backend} n={args.n}", flush=True)
-            results.extend(run_backend(backend, events, args.reps, directories))
+            results.extend(
+                run_backend(
+                    backend,
+                    events,
+                    args.reps,
+                    directories,
+                    trajectories=trajectories,
+                )
+            )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -313,10 +413,14 @@ def main(argv: list[str] | None = None) -> int:
             f"  speedup {r['speedup']:6.2f}x"
         )
         # cold_load_broad is informational: when nearly every row
-        # survives, per-row unpickling has no pruning to win with.
+        # survives, per-row unpickling has no pruning to win with.  The
+        # extraction rows are parity-gated (inside _bench_extraction) but
+        # speedup-informational at smoke size — a handful of instances
+        # per cell is dominated by timer noise, not kernel time.
+        informational = {"cold_load_broad", "extract_sm_flow", "extract_raster_speed"}
         if (
             args.smoke
-            and r["workload"] != "cold_load_broad"
+            and r["workload"] not in informational
             and r["speedup"] < args.tolerance
         ):
             failures.append((r, base_label, fast_label))

@@ -49,6 +49,12 @@ class AirQualityExtractor(CellAggExtractor):
             return None
         return {field: round(total / count, 9) for field, total in sorted(sums.items())}
 
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import FieldMeanSpec
+
+        return FieldMeanSpec()
+
 
 def build_structure(
     network: RoadNetwork,

@@ -15,7 +15,10 @@ extent columns plus a row→instance indirection):
 * batched partition-id assignment (``Partitioner.assign_batch``) feeding
   ``RDD.shuffle_by_batch``;
 * an analytic row→cell range kernel for regular structures
-  (``Grid.candidate_ranges_batch``).
+  (``Grid.candidate_ranges_batch``);
+* extraction aggregation (:mod:`repro.columnar.aggregate`) — per-partition
+  :class:`CellTable` partials built with scatter-add kernels and an
+  :class:`AggSpec` per extractor, merged through ``RDD.tree_reduce``.
 
 Everything is gated on numpy being importable (:func:`available`) and on
 ``use_columnar=True`` flags at the API surface; the scalar paths remain
@@ -27,6 +30,15 @@ scalar — the kernels only shrink the candidate set they run on.
 from __future__ import annotations
 
 from repro._deps import has_numpy
+from repro.columnar.aggregate import (
+    AggSpec,
+    CellTable,
+    CountSpec,
+    FieldMeanSpec,
+    PortionSpeedSpec,
+    TransitSpec,
+    WholeTrajSpeedSpec,
+)
 from repro.columnar.boxtable import BoxTable, intersects_box
 from repro.columnar.cache import (
     PartitionIndexCache,
@@ -59,9 +71,16 @@ def selection_index(partition: list, with_tree: bool, capacity: int = 32):
 
 
 __all__ = [
+    "AggSpec",
     "BoxTable",
+    "CellTable",
+    "CountSpec",
+    "FieldMeanSpec",
     "PackedRTree",
     "PartitionIndexCache",
+    "PortionSpeedSpec",
+    "TransitSpec",
+    "WholeTrajSpeedSpec",
     "available",
     "configure_selection_cache",
     "intersects_box",

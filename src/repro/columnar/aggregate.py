@@ -1,0 +1,583 @@
+"""Columnar extraction kernels: SoA cell aggregation for CellAggExtractor.
+
+The scalar extraction path walks every cell of every per-partition partial
+collective instance in Python — one ``local`` call, one ``Entry`` rebuild,
+and (at merge time) two structure-equality checks per cell.  This module
+replaces those loops with a :class:`CellTable`: a structure-of-arrays
+partial holding dense numpy value/count columns keyed by cell id, built
+with scatter-add kernels (``np.bincount`` for sums and counts,
+``ufunc.at`` for min/max) and merged with elementwise column ops.
+
+An :class:`AggSpec` is the columnar compilation of one extractor's
+``local``/``merge``/``finalize`` triple:
+
+* :meth:`AggSpec.build` — one partition-partial instance → its CellTable
+  (the vectorized ``local`` + within-partition ``merge``);
+* :meth:`CellTable.merge` — the vectorized cross-partition ``merge``;
+* :meth:`AggSpec.finalize` — merged CellTable → per-cell feature list;
+* :meth:`AggSpec.partials` — CellTable → per-cell *unfinalized* partials
+  in the scalar representation, so a columnar partial can be demoted and
+  merged scalar-wise when a sibling partition fell back (mixed inputs).
+
+Exactness contract: every kernel reproduces the scalar path bit-for-bit,
+not just approximately.  The load-bearing facts: ``np.bincount``
+accumulates its weights *sequentially in input order* (pairs are emitted
+cell-major, so within-cell order equals the scalar value-scan order);
+per-trajectory segment distances are computed with the same scalar
+``haversine_distance`` calls, once per trajectory; and portion lengths
+are summed with Python's sequential ``sum`` per *unique* portion (numpy's
+pairwise-summation reductions — including ``reduceat`` — associate
+differently and are deliberately avoided).  ``build`` returns ``None``
+for inputs it cannot vectorize exactly (non-envelope transit cells,
+non-instant trajectory timestamps); callers fall back to the scalar path
+for that partition.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro._deps import require_numpy
+from repro.geometry.distance import haversine_distance
+from repro.geometry.envelope import Envelope
+from repro.instances.event import Event
+from repro.instances.trajectory import Trajectory
+
+__all__ = [
+    "AggSpec",
+    "CellTable",
+    "CountSpec",
+    "FieldMeanSpec",
+    "PortionSpeedSpec",
+    "TransitSpec",
+    "WholeTrajSpeedSpec",
+    "cell_counts",
+    "scatter_count",
+    "scatter_max",
+    "scatter_min",
+    "scatter_sum",
+]
+
+
+def _np():
+    return require_numpy("columnar extraction kernels")
+
+
+# -- scatter kernels -----------------------------------------------------------
+
+
+def cell_counts(entries: Sequence, n_cells: int):
+    """``len(entry.value)`` per cell as an int64 column."""
+    np = _np()
+    return np.fromiter((len(e.value) for e in entries), np.int64, count=n_cells)
+
+
+def scatter_sum(cell_ids, weights, n_cells: int):
+    """Per-cell sum of ``weights`` grouped by ``cell_ids`` (float64).
+
+    ``np.bincount`` accumulates sequentially in input order, so emitting
+    pairs cell-major makes this bit-identical to the scalar per-cell fold.
+    """
+    np = _np()
+    return np.bincount(cell_ids, weights=weights, minlength=n_cells)
+
+
+def scatter_count(cell_ids, n_cells: int):
+    """Occurrences per cell (int64)."""
+    np = _np()
+    return np.bincount(cell_ids, minlength=n_cells).astype(np.int64, copy=False)
+
+
+def scatter_min(cell_ids, values, n_cells: int):
+    """Per-cell minimum; empty cells hold ``+inf``."""
+    np = _np()
+    out = np.full(n_cells, np.inf)
+    np.minimum.at(out, cell_ids, values)
+    return out
+
+
+def scatter_max(cell_ids, values, n_cells: int):
+    """Per-cell maximum; empty cells hold ``-inf``."""
+    np = _np()
+    out = np.full(n_cells, -np.inf)
+    np.maximum.at(out, cell_ids, values)
+    return out
+
+
+_COMBINE_OPS = ("sum", "min", "max")
+
+
+class CellTable:
+    """A dense per-partition extraction partial in SoA form.
+
+    ``columns`` maps a column name to a length-``n_cells`` numpy array;
+    ``ops`` maps each column to its cross-partial combine op (``sum`` /
+    ``min`` / ``max``).  Tables are immutable once built: ``merge``
+    returns a new table and may alias unmodified input columns.
+
+    ``kind`` records the collective-instance type the table was built
+    from, standing in for the per-cell structure-equality checks the
+    scalar ``merge_with`` performs (partials of one extraction share the
+    single broadcast structure, so type + cell count is the invariant
+    worth checking here).  ``rows`` and ``partials`` feed the obs
+    counters: total (cell, value) pairs aggregated, and how many
+    per-instance partials were folded in.
+    """
+
+    __slots__ = ("n_cells", "columns", "ops", "kind", "rows", "partials")
+
+    def __init__(
+        self,
+        n_cells: int,
+        columns: dict,
+        ops: dict,
+        kind: str,
+        rows: int = 0,
+        partials: int = 1,
+    ):
+        for name, op in ops.items():
+            if op not in _COMBINE_OPS:
+                raise ValueError(f"unknown combine op {op!r} for column {name!r}")
+        self.n_cells = n_cells
+        self.columns = columns
+        self.ops = ops
+        self.kind = kind
+        self.rows = rows
+        self.partials = partials
+
+    @property
+    def nbytes(self) -> int:
+        """Total column payload bytes (what a shipped partial weighs)."""
+        return sum(col.nbytes for col in self.columns.values())
+
+    def merge(self, other: "CellTable") -> "CellTable":
+        """Vectorized cross-partial combine (the columnar ``merge``).
+
+        Columns present on one side only are kept as-is for the left
+        table and zero-seeded (``0 + column``) for the right — exactly
+        mirroring the scalar dict-merge convention of e.g. the
+        air-quality extractor, where ``a``'s fields pass through
+        untouched and ``b``'s new fields land on ``sums.get(f, 0.0)``.
+        """
+        if self.kind != other.kind:
+            raise TypeError("can only merge cell tables of the same instance type")
+        if self.n_cells != other.n_cells:
+            raise ValueError("cannot merge cell tables with different cell counts")
+        np = _np()
+        columns: dict = {}
+        ops = dict(self.ops)
+        for name, a in self.columns.items():
+            b = other.columns.get(name)
+            if b is None:
+                columns[name] = a
+                continue
+            op = self.ops[name]
+            if op == "sum":
+                columns[name] = a + b
+            elif op == "min":
+                columns[name] = np.minimum(a, b)
+            else:
+                columns[name] = np.maximum(a, b)
+        for name, b in other.columns.items():
+            if name in columns:
+                continue
+            ops[name] = other.ops[name]
+            columns[name] = (b.dtype.type(0) + b) if other.ops[name] == "sum" else b
+        return CellTable(
+            self.n_cells,
+            columns,
+            ops,
+            self.kind,
+            rows=self.rows + other.rows,
+            partials=self.partials + other.partials,
+        )
+
+
+# -- agg specs -----------------------------------------------------------------
+
+
+class AggSpec(ABC):
+    """Columnar compilation of one extractor's local/merge/finalize."""
+
+    @abstractmethod
+    def build(self, instance) -> CellTable | None:
+        """One partial collective instance → its CellTable.
+
+        Returns ``None`` when this instance cannot be vectorized exactly;
+        the caller then computes the partition's partial on the scalar
+        path instead.
+        """
+
+    @abstractmethod
+    def finalize(self, table: CellTable) -> list:
+        """Merged CellTable → per-cell features, in cell order."""
+
+    @abstractmethod
+    def partials(self, table: CellTable) -> list:
+        """CellTable → per-cell partials in the scalar representation.
+
+        Used to demote a columnar partial for a scalar ``merge_with``
+        when sibling partitions fell back to the scalar path.
+        """
+
+
+def _pair_layout(entries, type_check) -> tuple[list[int], dict]:
+    """Cell-major (cell, value) pair layout plus a per-value grouping.
+
+    Returns ``(pair_cells, groups)`` where ``pair_cells[p]`` is the cell
+    of pair ``p`` (pairs enumerate cells in order, values in cell order —
+    the exact scan order of the scalar path) and ``groups`` maps
+    ``id(value)`` to ``(value, positions)`` for per-trajectory vectorized
+    computation scattered back by pair position.
+    """
+    pair_cells: list[int] = []
+    groups: dict[int, tuple[Any, list[int]]] = {}
+    for cell, entry in enumerate(entries):
+        for value in entry.value:
+            type_check(value)
+            group = groups.get(id(value))
+            if group is None:
+                groups[id(value)] = (value, [len(pair_cells)])
+            else:
+                group[1].append(len(pair_cells))
+            pair_cells.append(cell)
+    return pair_cells, groups
+
+
+def _instant_timestamps(traj: Trajectory) -> list[float] | None:
+    """The trajectory's timestamps, or None if any entry spans an interval.
+
+    The searchsorted window trick below models entry durations as points;
+    interval-valued entries would make closed-interval ``intersects``
+    membership non-contiguous in general, so such inputs fall back.
+    """
+    ts: list[float] = []
+    for e in traj.entries:
+        t = e.temporal.start
+        if e.temporal.end != t:
+            return None
+        ts.append(t)
+    return ts
+
+
+def _segment_meters(traj: Trajectory) -> list[float]:
+    """Per-consecutive-pair haversine distances, via the scalar function.
+
+    Computed once per trajectory and reused across every cell the
+    trajectory was allocated to — same floats as
+    ``Trajectory.length_meters`` summing them would see.
+    """
+    entries = traj.entries
+    return [
+        haversine_distance(a.spatial.x, a.spatial.y, b.spatial.x, b.spatial.y)
+        for a, b in zip(entries, entries[1:])
+    ]
+
+
+class CountSpec(AggSpec):
+    """Vectorizes the flow extractors: ``local = len``, ``merge = +``."""
+
+    def build(self, instance) -> CellTable:
+        entries = instance.entries
+        n = len(entries)
+        counts = cell_counts(entries, n)
+        return CellTable(
+            n,
+            {"count": counts},
+            {"count": "sum"},
+            type(instance).__name__,
+            rows=int(counts.sum()),
+        )
+
+    def finalize(self, table: CellTable) -> list:
+        return table.columns["count"].tolist()
+
+    def partials(self, table: CellTable) -> list:
+        return table.columns["count"].tolist()
+
+
+class WholeTrajSpeedSpec(AggSpec):
+    """Vectorizes ``SmSpeedExtractor``: whole-trajectory mean speed.
+
+    A trajectory's speed is cell-independent, so it is computed once (with
+    the same ``average_speed_*`` call the scalar path makes per cell) and
+    scattered to every cell holding the trajectory.
+    """
+
+    def __init__(self, unit: str, type_error: str):
+        self.unit = unit
+        self.type_error = type_error
+
+    def _check(self, value) -> None:
+        if not isinstance(value, Trajectory):
+            raise TypeError(self.type_error)
+
+    def build(self, instance) -> CellTable:
+        np = _np()
+        entries = instance.entries
+        n = len(entries)
+        pair_cells, groups = _pair_layout(entries, self._check)
+        pair_cell = np.asarray(pair_cells, dtype=np.int64)
+        speeds = np.empty(len(pair_cells))
+        kmh = self.unit == "kmh"
+        for traj, positions in groups.values():
+            speed = traj.average_speed_kmh() if kmh else traj.average_speed_ms()
+            speeds[positions] = speed
+        return CellTable(
+            n,
+            {
+                "total": scatter_sum(pair_cell, speeds, n),
+                "count": scatter_count(pair_cell, n),
+            },
+            {"total": "sum", "count": "sum"},
+            type(instance).__name__,
+            rows=len(pair_cells),
+        )
+
+    def finalize(self, table: CellTable) -> list:
+        totals = table.columns["total"].tolist()
+        counts = table.columns["count"].tolist()
+        return [t / c if c else None for t, c in zip(totals, counts)]
+
+    def partials(self, table: CellTable) -> list:
+        totals = table.columns["total"].tolist()
+        counts = table.columns["count"].tolist()
+        return list(zip(totals, counts))
+
+
+class PortionSpeedSpec(AggSpec):
+    """Vectorizes the sub-trajectory speed extractors (Ts / Raster).
+
+    Per cell, each trajectory contributes the average speed of its portion
+    inside the cell's duration, skipping portions with fewer than two
+    points.  Timestamps are sorted, so a closed time window keeps a
+    contiguous entry slice ``[i, j]``: ``i``/``j`` come from a vectorized
+    ``searchsorted`` over all of a trajectory's cells at once, and the
+    portion length is the sequential ``sum`` of precomputed per-segment
+    haversine distances — evaluated once per *unique* portion, since
+    e.g. every spatial cell of one raster time slot shares the slice.
+    """
+
+    def __init__(self, unit: str, type_error: str, count_vehicles: bool = False):
+        self.unit = unit
+        self.type_error = type_error
+        self.count_vehicles = count_vehicles
+
+    def _check(self, value) -> None:
+        if not isinstance(value, Trajectory):
+            raise TypeError(self.type_error)
+
+    def build(self, instance) -> CellTable | None:
+        np = _np()
+        entries = instance.entries
+        n = len(entries)
+        starts = np.fromiter((e.temporal.start for e in entries), float, count=n)
+        ends = np.fromiter((e.temporal.end for e in entries), float, count=n)
+        pair_cells, groups = _pair_layout(entries, self._check)
+        pair_cell = np.asarray(pair_cells, dtype=np.int64)
+        speeds = np.zeros(len(pair_cells))
+        kept = np.zeros(len(pair_cells), dtype=bool)
+        kmh = self.unit == "kmh"
+        for traj, positions in groups.values():
+            ts_list = _instant_timestamps(traj)
+            if ts_list is None:
+                return None
+            ts = np.asarray(ts_list)
+            pos = np.asarray(positions, dtype=np.int64)
+            cells = pair_cell[pos]
+            lo = np.searchsorted(ts, starts[cells], side="left")
+            hi = np.searchsorted(ts, ends[cells], side="right") - 1
+            seg: list[float] | None = None
+            portion_speed: dict[tuple[int, int], float] = {}
+            for p, i, j in zip(positions, lo.tolist(), hi.tolist()):
+                if j - i < 1:
+                    continue  # portion missing or single-point: skipped
+                speed = portion_speed.get((i, j))
+                if speed is None:
+                    if seg is None:
+                        seg = _segment_meters(traj)
+                    elapsed = ts_list[j] - ts_list[i]
+                    speed = sum(seg[i:j]) / elapsed if elapsed > 0 else 0.0
+                    if kmh:
+                        speed = speed * 3.6
+                    portion_speed[(i, j)] = speed
+                speeds[p] = speed
+                kept[p] = True
+        in_cell = pair_cell[kept]
+        columns = {
+            "total": scatter_sum(in_cell, speeds[kept], n),
+            "count": scatter_count(in_cell, n),
+        }
+        ops = {"total": "sum", "count": "sum"}
+        if self.count_vehicles:
+            columns["vehicles"] = cell_counts(entries, n)
+            ops["vehicles"] = "sum"
+        return CellTable(
+            n, columns, ops, type(instance).__name__, rows=len(pair_cells)
+        )
+
+    def finalize(self, table: CellTable) -> list:
+        totals = table.columns["total"].tolist()
+        counts = table.columns["count"].tolist()
+        means = [t / c if c else None for t, c in zip(totals, counts)]
+        if not self.count_vehicles:
+            return means
+        vehicles = table.columns["vehicles"].tolist()
+        return list(zip(vehicles, means))
+
+    def partials(self, table: CellTable) -> list:
+        totals = table.columns["total"].tolist()
+        counts = table.columns["count"].tolist()
+        if not self.count_vehicles:
+            return list(zip(totals, counts))
+        vehicles = table.columns["vehicles"].tolist()
+        return list(zip(vehicles, totals, counts))
+
+
+class TransitSpec(AggSpec):
+    """Vectorizes ``RasterTransitExtractor``: per-cell in/out flow.
+
+    Supports envelope spatial cells (the regular-raster case): the
+    temporal window gives a contiguous timestamp slice, and the in-cell
+    test over that slice is a vectorized closed-bounds containment —
+    identical comparisons to ``Envelope.contains_point``.  Non-envelope
+    cells fall back to the scalar path.
+    """
+
+    def __init__(self, type_error: str):
+        self.type_error = type_error
+
+    def build(self, instance) -> CellTable | None:
+        np = _np()
+        entries = instance.entries
+        n = len(entries)
+        for e in entries:
+            if not isinstance(e.spatial, Envelope):
+                return None
+        min_x = np.fromiter((e.spatial.min_x for e in entries), float, count=n)
+        max_x = np.fromiter((e.spatial.max_x for e in entries), float, count=n)
+        min_y = np.fromiter((e.spatial.min_y for e in entries), float, count=n)
+        max_y = np.fromiter((e.spatial.max_y for e in entries), float, count=n)
+        starts = np.fromiter((e.temporal.start for e in entries), float, count=n)
+        ends = np.fromiter((e.temporal.end for e in entries), float, count=n)
+
+        def check(value) -> None:
+            if not isinstance(value, (Event, Trajectory)):
+                raise TypeError(self.type_error)
+
+        pair_cells, groups = _pair_layout(entries, check)
+        inflow = np.zeros(n, dtype=np.int64)
+        outflow = np.zeros(n, dtype=np.int64)
+        pair_cell = np.asarray(pair_cells, dtype=np.int64)
+        rows = len(pair_cells)
+        for traj, positions in groups.values():
+            if isinstance(traj, Event):
+                continue  # events carry no motion (scalar path skips them too)
+            ts_list = _instant_timestamps(traj)
+            if ts_list is None:
+                return None
+            ts = np.asarray(ts_list)
+            xs = np.fromiter((e.spatial.x for e in traj.entries), float, count=len(ts))
+            ys = np.fromiter((e.spatial.y for e in traj.entries), float, count=len(ts))
+            t_first = ts_list[0]
+            t_last = ts_list[-1]
+            pos = np.asarray(positions, dtype=np.int64)
+            cells = pair_cell[pos]
+            lo = np.searchsorted(ts, starts[cells], side="left")
+            hi = np.searchsorted(ts, ends[cells], side="right") - 1
+            for c, i, j in zip(cells.tolist(), lo.tolist(), hi.tolist()):
+                if j < i:
+                    continue  # no points inside the cell's duration
+                xw = xs[i : j + 1]
+                yw = ys[i : j + 1]
+                inside = (xw >= min_x[c]) & (xw <= max_x[c])
+                inside &= (yw >= min_y[c]) & (yw <= max_y[c])
+                if not inside.any():
+                    continue
+                first_in = ts_list[i + int(inside.argmax())]
+                last_in = ts_list[i + len(inside) - 1 - int(inside[::-1].argmax())]
+                if first_in > t_first:
+                    inflow[c] += 1
+                if last_in < t_last:
+                    outflow[c] += 1
+        return CellTable(
+            n,
+            {"inflow": inflow, "outflow": outflow},
+            {"inflow": "sum", "outflow": "sum"},
+            type(instance).__name__,
+            rows=rows,
+        )
+
+    def finalize(self, table: CellTable) -> list:
+        return self.partials(table)
+
+    def partials(self, table: CellTable) -> list:
+        inflow = table.columns["inflow"].tolist()
+        outflow = table.columns["outflow"].tolist()
+        return list(zip(inflow, outflow))
+
+
+class FieldMeanSpec(AggSpec):
+    """Vectorizes the air-quality extractor: per-field means over events.
+
+    Each event's ``value`` is a dict of index readings; fields become
+    dynamic ``sum:*`` columns (plus ``n:*`` presence counts, so a field
+    that summed to the same float by accident is still reported exactly
+    when the scalar dict would hold it).
+    """
+
+    def build(self, instance) -> CellTable:
+        np = _np()
+        entries = instance.entries
+        n = len(entries)
+        counts = cell_counts(entries, n)
+        field_cells: dict[str, list[int]] = {}
+        field_vals: dict[str, list[float]] = {}
+        for cell, entry in enumerate(entries):
+            for ev in entry.value:
+                for field, v in ev.value.items():
+                    if field not in field_cells:
+                        field_cells[field] = []
+                        field_vals[field] = []
+                    field_cells[field].append(cell)
+                    field_vals[field].append(v)
+        columns = {"count": counts}
+        ops = {"count": "sum"}
+        for field, cells in field_cells.items():
+            ids = np.asarray(cells, dtype=np.int64)
+            columns[f"sum:{field}"] = scatter_sum(ids, field_vals[field], n)
+            columns[f"n:{field}"] = scatter_count(ids, n)
+            ops[f"sum:{field}"] = "sum"
+            ops[f"n:{field}"] = "sum"
+        return CellTable(
+            n, columns, ops, type(instance).__name__, rows=int(counts.sum())
+        )
+
+    def _cell_dicts(self, table: CellTable, fields: list[str]) -> list[dict]:
+        sums = {f: table.columns[f"sum:{f}"].tolist() for f in fields}
+        present = {f: table.columns[f"n:{f}"].tolist() for f in fields}
+        return [
+            {f: sums[f][c] for f in fields if present[f][c]}
+            for c in range(table.n_cells)
+        ]
+
+    def finalize(self, table: CellTable) -> list:
+        counts = table.columns["count"].tolist()
+        fields = sorted(
+            name[4:] for name in table.columns if name.startswith("sum:")
+        )
+        features = []
+        for count, sums in zip(counts, self._cell_dicts(table, fields)):
+            if not count:
+                features.append(None)
+            else:
+                features.append(
+                    {f: round(total / count, 9) for f, total in sums.items()}
+                )
+        return features
+
+    def partials(self, table: CellTable) -> list:
+        counts = table.columns["count"].tolist()
+        fields = [name[4:] for name in table.columns if name.startswith("sum:")]
+        return list(zip(self._cell_dicts(table, fields), counts))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable
 
+from repro._deps import has_numpy
 from repro.engine.rdd import RDD
 from repro.geometry.base import Geometry
 from repro.instances.collective import CollectiveInstance
@@ -53,9 +54,30 @@ class CellAggExtractor(ABC):
     * :meth:`finalize` — partial → extracted feature.
 
     ``extract`` returns a single collective instance whose cell values are
-    the extracted features; the only cross-partition traffic is the
-    ``reduce`` over per-cell partials, never the raw data.
+    the extracted features; the only cross-partition traffic is the tree
+    reduce over per-partition partials, never the raw data.
+
+    Two execution paths share one reduce topology (per-partition
+    sequential fold, then the balanced pairwise tree of
+    :meth:`~repro.engine.rdd.RDD.tree_reduce`), so their results are
+    bit-identical:
+
+    * the scalar path runs ``local``/``merge`` per cell in Python;
+    * when ``use_columnar`` is on, numpy is importable and the subclass
+      declares an :meth:`agg_spec`, partitions instead build
+      :class:`~repro.columnar.aggregate.CellTable` partials with
+      vectorized kernels.  A partition whose input the spec cannot
+      vectorize exactly falls back to a scalar partial; mixed partials
+      merge by demoting the columnar side through
+      :meth:`~repro.columnar.aggregate.AggSpec.partials`.
+
+    ``reduce_depth`` is the tree-stage knob of ``tree_reduce`` — it moves
+    merge rounds between workers and the driver without changing the
+    pairing, so features never depend on it.
     """
+
+    use_columnar: bool = True
+    reduce_depth: int = 2
 
     @abstractmethod
     def local(self, values: list, spatial: Geometry, temporal: Duration) -> Any:
@@ -69,19 +91,130 @@ class CellAggExtractor(ABC):
         """Partial aggregate → final feature (identity by default)."""
         return partial
 
+    def agg_spec(self) -> Any | None:
+        """Columnar compilation of this extractor's local/merge/finalize.
+
+        Subclasses return an :class:`~repro.columnar.aggregate.AggSpec`
+        to enable the vectorized path; ``None`` (the default) keeps the
+        extractor scalar-only.
+        """
+        return None
+
     def extract(self, rdd: RDD) -> CollectiveInstance:
         """Run this extraction on the RDD (see class docstring)."""
+        spec = self.agg_spec() if self.use_columnar and has_numpy() else None
+        # ``tree_reduce`` is an action, so the phase span brackets real
+        # work (plus any still-lazy upstream lineage) without extra
+        # forcing.
+        with _phase_span("Extraction", rdd.ctx.tracer) as span:
+            tracer = rdd.ctx.tracer
+            oob_before = (
+                tracer.counters.get("stage_oob_bytes", 0) if tracer is not None else 0
+            )
+            stats: dict = {}
+            if spec is None:
+                result = self._reduce_scalar(rdd, stats)
+            else:
+                result = self._reduce_columnar(rdd, spec, stats)
+            if tracer is not None:
+                oob = tracer.counters.get("stage_oob_bytes", 0) - oob_before
+                partials = stats.get("partials", 0)
+                cells = result.n_cells * partials
+                rounds = stats.get("rounds", 0)
+                tracer.counter("extract_cells_aggregated", cells)
+                tracer.counter("extract_partials_merged", partials)
+                tracer.counter("extract_tree_depth", rounds)
+                tracer.counter("extract_reduce_oob_bytes", oob)
+                if span is not None:
+                    span.args.update(
+                        columnar=spec is not None,
+                        cells_aggregated=cells,
+                        partials_merged=partials,
+                        tree_depth=rounds,
+                        reduce_oob_bytes=oob,
+                    )
+            return result
+
+    def _reduce_scalar(self, rdd: RDD, stats: dict) -> CollectiveInstance:
+        """The per-cell Python path: premerge per partition, then tree."""
         local = self.local
         merge = self.merge
 
-        def to_partial(instance: CollectiveInstance) -> CollectiveInstance:
-            return instance.map_value_plus(local)
+        def premerge(instances: list) -> list:
+            acc = None
+            for inst in instances:
+                partial = inst.map_value_plus(local)
+                acc = partial if acc is None else acc.merge_with(partial, merge)
+            return [] if acc is None else [acc]
 
-        # ``reduce`` is an action, so the phase span brackets real work
-        # (plus any still-lazy upstream lineage) without extra forcing.
-        with _phase_span("Extraction", rdd.ctx.tracer):
-            merged = rdd.map(to_partial).reduce(lambda a, b: a.merge_with(b, merge))
-            return merged.map_value(self.finalize)
+        merged = rdd.map_partitions(premerge).tree_reduce(
+            lambda a, b: a.merge_with(b, merge),
+            depth=self.reduce_depth,
+            stats=stats,
+        )
+        return merged.map_value(self.finalize)
+
+    def _reduce_columnar(self, rdd: RDD, spec: Any, stats: dict) -> CollectiveInstance:
+        """The vectorized path: CellTable partials with scalar fallback.
+
+        Partials travel tagged — ``("table", (skeleton, CellTable))`` or
+        ``("scalar", partial_instance)`` — where the skeleton carries the
+        cell structure needed to rebuild (or demote to) a collective
+        instance.  On backends that serialize tasks the skeleton is
+        stripped of its cell arrays first; elsewhere it is the
+        partition's first instance by reference, which costs nothing.
+        """
+        local = self.local
+        merge = self.merge
+        strip = rdd.ctx.backend.requires_serializable_tasks
+
+        def premerge(instances: list) -> list:
+            table = None
+            for inst in instances:
+                built = spec.build(inst)
+                if built is None:
+                    # This partition cannot vectorize exactly: fall back
+                    # to one scalar partial for the whole partition.
+                    acc = None
+                    for fallback in instances:
+                        partial = fallback.map_value_plus(local)
+                        acc = (
+                            partial
+                            if acc is None
+                            else acc.merge_with(partial, merge)
+                        )
+                    return [("scalar", acc)]
+                table = built if table is None else table.merge(built)
+            if table is None:
+                return []
+            skeleton = instances[0]
+            if strip:
+                skeleton = skeleton.with_cell_values([None] * skeleton.n_cells)
+            return [("table", (skeleton, table))]
+
+        def pair_merge(a: tuple, b: tuple) -> tuple:
+            kind_a, pa = a
+            kind_b, pb = b
+            if kind_a == "table" and kind_b == "table":
+                (skeleton, ta), (_, tb) = pa, pb
+                return ("table", (skeleton, ta.merge(tb)))
+            if kind_a == "table":
+                skeleton, ta = pa
+                demoted = skeleton.with_cell_values(spec.partials(ta))
+                return ("scalar", demoted.merge_with(pb, merge))
+            if kind_b == "table":
+                skeleton, tb = pb
+                demoted = skeleton.with_cell_values(spec.partials(tb))
+                return ("scalar", pa.merge_with(demoted, merge))
+            return ("scalar", pa.merge_with(pb, merge))
+
+        kind, payload = rdd.map_partitions(premerge).tree_reduce(
+            pair_merge, depth=self.reduce_depth, stats=stats
+        )
+        if kind == "table":
+            skeleton, table = payload
+            return skeleton.with_cell_values(spec.finalize(table))
+        return payload.map_value(self.finalize)
 
     def extract_values(self, rdd: RDD) -> list:
         """Convenience: just the per-cell features, in cell order."""

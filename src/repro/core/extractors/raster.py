@@ -25,6 +25,12 @@ class RasterFlowExtractor(CellAggExtractor):
         """Combine two per-cell partial aggregates (see CellAggExtractor)."""
         return a + b
 
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import CountSpec
+
+        return CountSpec()
+
 
 class RasterSpeedExtractor(CellAggExtractor):
     """Vehicles appearing + their mean in-cell speed, per raster cell.
@@ -73,6 +79,16 @@ class RasterSpeedExtractor(CellAggExtractor):
         avg = speed_sum / speed_count if speed_count else None
         return (vehicles, avg)
 
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import PortionSpeedSpec
+
+        return PortionSpeedSpec(
+            self.unit,
+            "RasterSpeedExtractor expects trajectory cell arrays",
+            count_vehicles=True,
+        )
+
 
 class RasterTransitExtractor(CellAggExtractor):
     """In/out flow per raster cell — the transition feature of Table 7.
@@ -113,3 +129,9 @@ class RasterTransitExtractor(CellAggExtractor):
     def merge(self, a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
         """Combine two per-cell partial aggregates (see CellAggExtractor)."""
         return (a[0] + b[0], a[1] + b[1])
+
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import TransitSpec
+
+        return TransitSpec("RasterTransitExtractor expects trajectory arrays")

@@ -27,6 +27,12 @@ class SmFlowExtractor(CellAggExtractor):
         """Combine two per-cell partial aggregates (see CellAggExtractor)."""
         return a + b
 
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import CountSpec
+
+        return CountSpec()
+
 
 class SmSpeedExtractor(CellAggExtractor):
     """Mean trajectory speed per spatial cell (the grid-speed application).
@@ -66,6 +72,14 @@ class SmSpeedExtractor(CellAggExtractor):
         """Partial aggregate to final feature (see CellAggExtractor)."""
         total, count = partial
         return total / count if count else None
+
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import WholeTrajSpeedSpec
+
+        return WholeTrajSpeedSpec(
+            self.unit, "SmSpeedExtractor expects trajectory cell arrays"
+        )
 
 
 class SmTransitExtractor:

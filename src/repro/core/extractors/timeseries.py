@@ -27,6 +27,12 @@ class TsFlowExtractor(CellAggExtractor):
         """Combine two per-cell partial aggregates (see CellAggExtractor)."""
         return a + b
 
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import CountSpec
+
+        return CountSpec()
+
 
 class TsSpeedExtractor(CellAggExtractor):
     """Mean trajectory speed per time slot (periodical speed feature).
@@ -69,6 +75,14 @@ class TsSpeedExtractor(CellAggExtractor):
         """Partial aggregate to final feature (see CellAggExtractor)."""
         total, count = partial
         return total / count if count else None
+
+    def agg_spec(self):
+        """Columnar compilation (see CellAggExtractor)."""
+        from repro.columnar.aggregate import PortionSpeedSpec
+
+        return PortionSpeedSpec(
+            self.unit, "TsSpeedExtractor expects trajectory cell arrays"
+        )
 
 
 class TsWindowFreqExtractor:

@@ -614,6 +614,111 @@ class RDD(Generic[T]):
             result = comb(result, partial)
         return result
 
+    def tree_reduce(
+        self,
+        f: Callable[[T, T], T],
+        depth: int = 2,
+        stats: dict | None = None,
+    ) -> T:
+        """``reduce`` with a balanced pairwise merge tree; raises on empty.
+
+        Each partition is folded sequentially into one partial (same left
+        fold as :meth:`reduce`), then partials merge by adjacent pairing:
+        every round combines partials ``(0, 1), (2, 3), …``, passing an
+        odd leftover through unchanged.  The first ``depth`` rounds run as
+        engine stages — ``f`` executes on workers, and on the process
+        backend the paired partials ship through the stage task path
+        (pickle protocol 5, out-of-band buffers) — while remaining rounds
+        merge on the driver, which therefore touches ``O(log P)`` partials
+        instead of ``P``.  The pairing, and hence the result, is identical
+        for every ``depth``: the knob only moves rounds between workers
+        and the driver.
+
+        ``stats``, when given, receives ``partials`` (non-empty partition
+        count), ``rounds`` (total pairwise rounds) and ``stage_rounds``
+        (rounds that ran as engine stages).
+        """
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        from functools import reduce as _reduce
+
+        folded = _MapPartitionsRDD(
+            self, lambda _, items: [_reduce(f, items)] if items else []
+        )
+        partials = [p[0] for p in folded._collect_partitions() if p]
+        if not partials:
+            raise ValueError("cannot reduce an empty RDD")
+        n_partials = len(partials)
+        result, rounds, stage_rounds = self._pairwise_rounds(f, partials, depth)
+        if stats is not None:
+            stats["partials"] = n_partials
+            stats["rounds"] = rounds
+            stats["stage_rounds"] = stage_rounds
+        return result
+
+    def tree_aggregate(
+        self,
+        zero: U,
+        seq: Callable[[U, T], U],
+        comb: Callable[[U, U], U],
+        depth: int = 2,
+    ) -> U:
+        """Per-partition ``seq`` fold, then pairwise-tree ``comb``.
+
+        Like :meth:`aggregate`, every partition (empty ones included)
+        starts from its own deep copy of ``zero`` — but the fold runs
+        worker-side and the partials combine through the deterministic
+        pairwise tree of :meth:`tree_reduce` rather than a driver-side
+        left fold seeded with ``zero``.  Returns a copy of ``zero`` for an
+        RDD with no partitions.
+        """
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        import copy
+
+        def fold_partition(_, items):
+            acc = copy.deepcopy(zero)
+            for x in items:
+                acc = seq(acc, x)
+            return [acc]
+
+        folded = _MapPartitionsRDD(self, fold_partition)
+        partials = [p[0] for p in folded._collect_partitions()]
+        if not partials:
+            return copy.deepcopy(zero)
+        result, _, _ = self._pairwise_rounds(comb, partials, depth)
+        return result
+
+    def _pairwise_rounds(
+        self, f: Callable[[T, T], T], partials: list, depth: int
+    ) -> tuple[T, int, int]:
+        """Merge ``partials`` by adjacent pairing until one remains.
+
+        Rounds below ``depth`` run as engine stages when more than one
+        pair exists; later (or single-pair) rounds merge on the driver.
+        The pairing is the same either way, so results are depth-invariant
+        for any ``f`` — even a non-associative one.
+        """
+        rounds = 0
+        stage_rounds = 0
+        while len(partials) > 1:
+            paired = [
+                [partials[i], partials[i + 1]]
+                for i in range(0, len(partials) - 1, 2)
+            ]
+            leftover = [partials[-1]] if len(partials) % 2 else []
+            if rounds < depth and len(paired) > 1:
+                stage = self.ctx.from_partitions(paired, copy=False)
+                merged = _MapPartitionsRDD(
+                    stage, lambda _, pair: [f(pair[0], pair[1])]
+                )._collect_partitions()
+                partials = [m[0] for m in merged] + leftover
+                stage_rounds += 1
+            else:
+                partials = [f(a, b) for a, b in paired] + leftover
+            rounds += 1
+        return partials[0], rounds, stage_rounds
+
     def sum(self) -> float:
         """Sum of numeric elements."""
         return sum(x for p in self._collect_partitions() for x in p)

@@ -5,6 +5,13 @@ from __future__ import annotations
 import hashlib
 from typing import Any
 
+try:  # NumPy is optional engine-wide; scalar keys still need normalizing.
+    import numpy as _numpy
+
+    _NUMPY_SCALAR: tuple = (_numpy.generic,)
+except ImportError:  # pragma: no cover - exercised in numpy-free installs
+    _NUMPY_SCALAR = ()
+
 
 def stable_hash(key: Any) -> int:
     """A process-independent hash for shuffle bucketing.
@@ -14,11 +21,24 @@ def stable_hash(key: Any) -> int:
     the Table 5 load-balance numbers) non-reproducible.  We hash the repr
     through blake2b instead; all shuffle keys in this codebase (ints,
     strings, floats, tuples of those) have stable reprs.
+
+    NumPy scalars are normalized to the equivalent Python scalar first:
+    their repr changed between NumPy 1.x and 2.x (``5`` vs
+    ``np.int64(5)``), so repr-hashing them would silently shuffle the
+    same key to different partitions depending on the installed NumPy —
+    and ``np.int64(5)`` should bucket like ``5`` regardless.  Tuple keys
+    are normalized element-wise for the same reason.
     """
+    if _NUMPY_SCALAR and isinstance(key, _NUMPY_SCALAR):
+        key = key.item()
     if isinstance(key, bool):
         return int(key)
     if isinstance(key, int):
         return key & 0x7FFFFFFFFFFFFFFF
+    if _NUMPY_SCALAR and isinstance(key, tuple):
+        key = tuple(
+            k.item() if isinstance(k, _NUMPY_SCALAR) else k for k in key
+        )
     digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
 

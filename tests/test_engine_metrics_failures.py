@@ -28,6 +28,24 @@ class TestStableHash:
         for key in ["a", "b", 17, (1, 2), 3.5]:
             assert 0 <= hash_partition(key, 7) < 7
 
+    def test_numpy_scalars_bucket_like_python_scalars(self):
+        # NumPy scalar reprs changed between 1.x and 2.x ("5" vs
+        # "np.int64(5)"); hashing the repr would shuffle the same key to
+        # different partitions depending on the installed NumPy.  Scalars
+        # must normalize through ``.item()`` first — including inside
+        # tuple keys.
+        np = pytest.importorskip("numpy")
+        assert stable_hash(np.int64(5)) == stable_hash(5)
+        assert stable_hash(np.int32(-3)) == stable_hash(-3)
+        assert stable_hash(np.float64(2.5)) == stable_hash(2.5)
+        assert stable_hash(np.bool_(True)) == stable_hash(True)
+        assert stable_hash(np.str_("abc")) == stable_hash("abc")
+        assert stable_hash((np.int64(1), "x", np.float64(2.5))) == stable_hash(
+            (1, "x", 2.5)
+        )
+        for key in [np.int64(9), np.float32(1.5), (np.int64(1), np.int64(2))]:
+            assert 0 <= hash_partition(key, 7) < 7
+
 
 class TestShuffleAccounting:
     def test_reduce_by_key_shuffles_less_than_group_by_key(self, ctx):
