@@ -1,0 +1,186 @@
+"""Streaming ingest-and-extract benchmark (``BENCH_stream.json``).
+
+Measures what the incremental path buys over re-running from scratch.
+A feed of K daily micro-batches is committed through
+``StDataset.ingest``; after every commit the week-long hourly-flow
+feature is brought up to date twice —
+
+* **incremental** — ``Pipeline.run_incremental`` extracts only the new
+  blocks and merges their partials into running state;
+* **full recompute** — ``Pipeline.run`` re-selects, re-converts, and
+  re-extracts the whole dataset, the only option a batch system has.
+
+Both maintain the *same* feature, and the run cross-checks them for
+bit-identical output after every batch (exit 1 on divergence, and exit
+1 unless the incremental path is faster in total — the regression guard
+the acceptance criteria ask for).  Per-batch ingest latency (T-STR fit
++ block write + transactional metadata/watermark commit) is recorded
+alongside.
+
+Run the full-size record::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py
+
+CI smoke (small n)::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import (  # noqa: E402
+    Duration,
+    EngineContext,
+    Envelope,
+    Pipeline,
+    Selector,
+    StDataset,
+    TimeSeriesStructure,
+    TSTRPartitioner,
+)
+from repro.core.converters import Event2TsConverter  # noqa: E402
+from repro.core.extractors import TsFlowExtractor  # noqa: E402
+from repro.instances import Event  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DAY = 86_400.0
+AREA = Envelope(0.0, 0.0, 10.0, 10.0)
+
+
+def day_batch(day: int, n: int) -> list[Event]:
+    rng = random.Random(9000 + day)
+    return [
+        Event.of_point(
+            rng.uniform(0.0, 10.0),
+            rng.uniform(0.0, 10.0),
+            day * DAY + rng.uniform(0.0, DAY),
+            data=i,
+        )
+        for i in range(n)
+    ]
+
+
+def make_pipeline(span: Duration) -> Pipeline:
+    return Pipeline(
+        selector=Selector(AREA, span),
+        converter=Event2TsConverter(TimeSeriesStructure.of_interval(span, 3_600.0)),
+        extractor=TsFlowExtractor(),
+    )
+
+
+def summarize(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "median_ms": round(statistics.median(latencies) * 1e3, 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+        "total_ms": round(sum(latencies) * 1e3, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=14, help="micro-batch count")
+    parser.add_argument("--per-day", type=int, default=20_000, help="events per batch")
+    parser.add_argument("--smoke", action="store_true", help="small-n CI mode")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_stream.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.days = min(args.days, 6)
+        args.per_day = min(args.per_day, 2_000)
+
+    span = Duration(0.0, args.days * DAY)
+    ctx = EngineContext(default_parallelism=4)
+    incremental_pipeline = make_pipeline(span)
+
+    print(
+        f"[bench-stream] {args.days} batches x {args.per_day} events",
+        flush=True,
+    )
+    ingest_lat, inc_lat, full_lat = [], [], []
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as tmp:
+        feed = Path(tmp) / "feed"
+        ds = StDataset(feed)
+        state = None
+        for day in range(args.days):
+            batch = day_batch(day, args.per_day)
+
+            start = time.perf_counter()
+            ds.ingest(
+                batch,
+                partitioner=TSTRPartitioner(1, 4),
+                instance_type="event" if day == 0 else None,
+            )
+            ingest_lat.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            run = incremental_pipeline.run_incremental(ctx, feed, state=state)
+            inc_lat.append(time.perf_counter() - start)
+            state = run.state
+
+            start = time.perf_counter()
+            full = make_pipeline(span).run(ctx, feed)
+            full_lat.append(time.perf_counter() - start)
+
+            if run.result.cell_values() != full.cell_values():
+                print(f"[bench-stream] FAIL: parity violated at batch {day}")
+                return 1
+
+    inc_stats, full_stats = summarize(inc_lat), summarize(full_lat)
+    speedup = round(full_stats["total_ms"] / max(inc_stats["total_ms"], 1e-6), 2)
+    report = {
+        "meta": {
+            "days": args.days,
+            "per_day": args.per_day,
+            "records": args.days * args.per_day,
+            "smoke": args.smoke,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "results": {
+            "ingest_batch": summarize(ingest_lat),
+            "incremental_update": inc_stats,
+            "full_recompute": full_stats,
+            "incremental_speedup": speedup,
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"  ingest       median {report['results']['ingest_batch']['median_ms']:9.2f}ms "
+        f"per batch"
+    )
+    print(
+        f"  incremental  median {inc_stats['median_ms']:9.2f}ms  "
+        f"total {inc_stats['total_ms']:9.2f}ms"
+    )
+    print(
+        f"  full         median {full_stats['median_ms']:9.2f}ms  "
+        f"total {full_stats['total_ms']:9.2f}ms"
+    )
+    print(f"  incremental-vs-full speedup {speedup}x  -> {args.out.name}")
+
+    if speedup <= 1.0:
+        print("[bench-stream] FAIL: incremental path not faster than recompute")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

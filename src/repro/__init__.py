@@ -56,6 +56,12 @@ from repro.partitioners import (
 )
 from repro.obs import Tracer, profiled
 from repro.stio import StDataset, load_dataset, save_dataset
+from repro.stream import (
+    IngestReport,
+    StreamState,
+    WindowedFlowExtractor,
+    WindowedSpeedExtractor,
+)
 
 __version__ = "1.0.0"
 
@@ -90,6 +96,10 @@ __all__ = [
     "StDataset",
     "save_dataset",
     "load_dataset",
+    "IngestReport",
+    "StreamState",
+    "WindowedFlowExtractor",
+    "WindowedSpeedExtractor",
     "Tracer",
     "profiled",
     "__version__",

@@ -533,18 +533,55 @@ def _cmd_convert_format(args: argparse.Namespace) -> int:
 
 def _cmd_info(args: argparse.Namespace) -> int:
     meta = StDataset(args.path).metadata()
-    print(f"dataset: {args.path}")
-    print(f"instance type: {meta.instance_type}")
-    print(f"block format: {meta.block_format}")
-    print(f"partitions: {len(meta.partitions)}")
-    print(f"records: {meta.total_records:,}")
     non_empty = [p for p in meta.partitions if p.count]
-    if non_empty:
-        sizes = [p.count for p in non_empty]
-        print(
-            f"partition sizes: min={min(sizes)} max={max(sizes)} "
-            f"mean={sum(sizes) / len(sizes):.1f}"
+    sizes = [p.count for p in non_empty]
+    watermark = (
+        f"{meta.watermark:.3f}" if meta.watermark is not None else "(none)"
+    )
+    summary = [
+        ("dataset", str(args.path)),
+        ("instance type", meta.instance_type),
+        ("block format", meta.block_format),
+        ("generation", str(meta.generation)),
+        ("watermark", watermark),
+        ("partitions", str(len(meta.partitions))),
+        ("records", f"{meta.total_records:,}"),
+    ]
+    if sizes:
+        summary.append(
+            (
+                "partition sizes",
+                f"min={min(sizes)} max={max(sizes)} "
+                f"mean={sum(sizes) / len(sizes):.1f}",
+            )
         )
+    label_width = max(len(label) for label, _ in summary)
+    for label, value in summary:
+        print(f"{label:<{label_width}}  {value}")
+    if not meta.partitions:
+        return 0
+    print()
+    rows = [
+        (
+            str(i),
+            p.filename,
+            meta.block_format,
+            f"{p.count:,}",
+            f"[{p.bounds.mins[2]:.0f}, {p.bounds.maxs[2]:.0f}]"
+            if p.count
+            else "(empty)",
+        )
+        for i, p in enumerate(meta.partitions)
+    ]
+    header = ("part", "file", "format", "records", "time range")
+    widths = [
+        max(len(header[col]), max(len(r[col]) for r in rows))
+        for col in range(len(header))
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
     return 0
 
 

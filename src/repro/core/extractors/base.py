@@ -219,3 +219,68 @@ class CellAggExtractor(ABC):
     def extract_values(self, rdd: RDD) -> list:
         """Convenience: just the per-cell features, in cell order."""
         return self.extract(rdd).cell_values()
+
+    # -- incremental extraction (the streaming API) --------------------------------
+
+    def extract_partials(self, rdd: RDD) -> list[CollectiveInstance]:
+        """Per-partition *unfinalized* partials, in partition order.
+
+        The streaming half of :meth:`extract`: each partition premerges
+        into one partial collective instance exactly as the batch path
+        does — the columnar fast path included, demoted to the scalar
+        partial domain through ``spec.partials`` (bit-exact by the
+        mixed-partial contract) — but instead of tree-reducing to one
+        value, the partials come back as a list the caller can bank.
+        :meth:`merge_partials` over partials accumulated across any
+        number of incremental runs replays :meth:`~repro.engine.rdd.RDD.tree_reduce`'s
+        exact pairing, so the final features are bit-identical to one
+        batch :meth:`extract` over the union — the incremental-parity
+        guarantee of :meth:`~repro.core.pipeline.Pipeline.run_incremental`.
+
+        Empty partitions contribute no partial (matching ``tree_reduce``,
+        which drops them).
+        """
+        spec = self.agg_spec() if self.use_columnar and has_numpy() else None
+        local = self.local
+        merge = self.merge
+
+        def premerge(instances: list) -> list:
+            if spec is not None:
+                table = None
+                vectorized = True
+                for inst in instances:
+                    built = spec.build(inst)
+                    if built is None:
+                        vectorized = False
+                        break
+                    table = built if table is None else table.merge(built)
+                if vectorized and table is not None:
+                    return [instances[0].with_cell_values(spec.partials(table))]
+            acc = None
+            for inst in instances:
+                partial = inst.map_value_plus(local)
+                acc = partial if acc is None else acc.merge_with(partial, merge)
+            return [] if acc is None else [acc]
+
+        return [p[0] for p in rdd.map_partitions(premerge)._collect_partitions() if p]
+
+    def merge_partials(self, partials: list) -> CollectiveInstance:
+        """Partial list → finalized features, via ``tree_reduce``'s pairing.
+
+        Driver-side adjacent pairing ``(0, 1), (2, 3), …`` with an odd
+        leftover passed through — the same rounds
+        :meth:`~repro.engine.rdd.RDD._pairwise_rounds` runs, which is
+        what makes incremental results bit-identical to batch ones.
+        Raises on an empty list (nothing was ever selected).
+        """
+        if not partials:
+            raise ValueError("cannot merge an empty partial list")
+        merge = self.merge
+        parts = list(partials)
+        while len(parts) > 1:
+            paired = [
+                (parts[i], parts[i + 1]) for i in range(0, len(parts) - 1, 2)
+            ]
+            leftover = [parts[-1]] if len(parts) % 2 else []
+            parts = [a.merge_with(b, merge) for a, b in paired] + leftover
+        return parts[0].map_value(self.finalize)

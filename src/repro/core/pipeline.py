@@ -99,3 +99,35 @@ class Pipeline:
                 with _phase_span("Extraction", tracer):
                     return self.extractor.extract(data)
             return data
+
+    def run_incremental(
+        self,
+        ctx: EngineContext,
+        source,
+        state=None,
+        since: float | None = None,
+        use_metadata: bool = True,
+    ):
+        """Run over new-since-last-time blocks only; see
+        :func:`repro.stream.run_incremental`.
+
+        State mode (pass the previous run's ``state``, or nothing to
+        bootstrap) banks per-block partials and returns features over
+        everything consumed so far — bit-identical to :meth:`run` over
+        the union (the extractor must be a
+        :class:`~repro.core.extractors.base.CellAggExtractor`; the
+        selector's partitioner, a shuffle-balance knob, is ignored).
+        Since mode (pass ``since``, typically the persisted watermark)
+        statelessly extracts just the post-``since`` slice.  Returns an
+        :class:`~repro.stream.IncrementalRun`.
+        """
+        from repro.stream.incremental import run_incremental
+
+        return run_incremental(
+            self,
+            ctx,
+            source,
+            state=state,
+            since=since,
+            use_metadata=use_metadata,
+        )

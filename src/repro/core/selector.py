@@ -125,6 +125,7 @@ class Selector:
         ctx: EngineContext,
         source: "str | Path | RDD | Sequence[Instance]",
         use_metadata: bool,
+        offset: int = 0,
     ) -> RDD:
         if isinstance(source, RDD):
             return source
@@ -135,6 +136,7 @@ class Selector:
                 self.temporal,
                 use_metadata=use_metadata,
                 on_corrupt=self.on_corrupt,
+                offset=offset,
             )
             self.last_load_stats = stats
             return rdd
@@ -224,11 +226,15 @@ class Selector:
         ctx: EngineContext,
         source: "str | Path | RDD | Sequence[Instance]",
         use_metadata: bool = True,
+        offset: int = 0,
     ) -> RDD:
         """Load, filter, and (optionally) ST-partition.
 
         ``source`` may be a dataset directory (metadata-pruned when
-        ``use_metadata``), an RDD, or a plain instance list.
+        ``use_metadata``), an RDD, or a plain instance list.  ``offset``
+        (directory sources only) skips the first ``offset`` on-disk
+        blocks before pruning — the incremental-read hook of
+        :meth:`~repro.core.pipeline.Pipeline.run_incremental`.
 
         Under an active tracer the whole selection runs eagerly inside a
         "Selection" phase span (profiling moves the evaluation boundary —
@@ -240,7 +246,7 @@ class Selector:
             self.rtree_probes.reset()
             self.index_cache_hits.reset()
             self.index_cache_misses.reset()
-            loaded = self._load(ctx, source, use_metadata)
+            loaded = self._load(ctx, source, use_metadata, offset=offset)
             selected = self._filter(loaded)
             if self.partitioner is not None:
                 selected = self.partitioner.partition(

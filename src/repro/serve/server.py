@@ -555,6 +555,7 @@ class QueryServer:
             "protocol": PROTOCOL_VERSION,
             "dataset": str(self.directory),
             "generation": self.state.generation,
+            "watermark": self.state.meta.watermark,
         }
 
     def _handle_stats(self, request_id: Any) -> dict:
@@ -587,6 +588,7 @@ class QueryServer:
             },
             "dataset": {
                 "generation": self.state.generation,
+                "watermark": self.state.meta.watermark,
                 "partitions": len(self.state.meta.partitions),
                 "records": self.state.meta.total_records,
                 "resident_blocks": self.state.resident_blocks(),

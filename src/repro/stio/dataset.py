@@ -25,6 +25,7 @@ from repro.temporal.duration import Duration
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.partitioners.base import STPartitioner
+    from repro.stream.ingest import IngestReport
 
 
 @dataclass
@@ -335,6 +336,7 @@ class StDataset:
         boundaries: Sequence[STBox] | None = None,
         codec: str = "tuple",
         block_format: str = "v1",
+        watermark: float | None = None,
     ) -> "StDataset":
         """Persist partition lists and build the metadata index.
 
@@ -353,11 +355,16 @@ class StDataset:
         # Rewriting an existing dataset in place (re-index / repartition /
         # format conversion) is an edit like any other: continue its
         # generation counter so long-lived readers keyed on it (the serve
-        # result cache) miss.
+        # result cache) miss.  The streaming watermark survives rewrites
+        # the same way — compaction reshuffles blocks, it does not change
+        # what has been ingested.
         generation = 0
         if (directory / METADATA_FILENAME).exists():
             try:
-                generation = DatasetMetadata.load(directory).generation + 1
+                existing = DatasetMetadata.load(directory)
+                generation = existing.generation + 1
+                if watermark is None:
+                    watermark = existing.watermark
             except (ValueError, FileNotFoundError):
                 generation = 1
         pattern = cls.BLOCK_PATTERNS[block_format]
@@ -375,6 +382,7 @@ class StDataset:
             codec=codec,
             generation=generation,
             block_format=block_format,
+            watermark=watermark,
         ).save(directory)
         cls._remove_orphan_blocks(directory, {m.filename for m in metas})
         return cls(directory)
@@ -412,6 +420,7 @@ class StDataset:
         self,
         partitions: Sequence[Sequence[Instance]],
         boundaries: Sequence[STBox] | None = None,
+        watermark: float | None = None,
     ) -> "StDataset":
         """Add a newly indexed batch to an existing dataset.
 
@@ -419,7 +428,12 @@ class StDataset:
         "application programmers may periodically index the new group of
         data and merge the metadata file with the existing ones."  New
         block files continue the existing numbering and block format; the
-        metadata files are merged.
+        metadata files are merged — incrementally: existing partition
+        entries are reused as-is, only the new blocks' entries are
+        computed.  ``watermark``, when given, is the batch's high-water
+        mark; the merge keeps the max of it and the dataset's existing
+        mark, and the whole commit (partitions + generation + watermark)
+        is one atomic metadata replace.
         """
         existing = self.metadata()
         offset = len(existing.partitions)
@@ -440,6 +454,7 @@ class StDataset:
                 partitions=new_metas,
                 codec=existing.codec,
                 block_format=existing.block_format,
+                watermark=watermark,
             )
         )
         merged.save(self.directory)
@@ -483,7 +498,50 @@ class StDataset:
             boundaries=[m.bounds for m in meta.partitions],
             codec=meta.codec,
             block_format=block_format,
+            watermark=meta.watermark,
         )
+
+    # -- streaming ----------------------------------------------------------------
+
+    def ingest(
+        self,
+        batch: Sequence[Instance],
+        partitioner: "STPartitioner | None" = None,
+        rebalance_threshold: int | None = None,
+        instance_type: str | None = None,
+        block_format: str = "v1",
+    ) -> "IngestReport":
+        """Append one micro-batch and advance the persisted watermark.
+
+        The streaming front door: incremental metadata + T-STR maintenance
+        (new temporal slices get new cells — no repartition of resident
+        data), one atomic metadata commit advancing partitions +
+        generation + watermark together, and an optional compaction when
+        the block count crosses ``rebalance_threshold``.  Creates the
+        dataset on first call (``instance_type`` required then).  See
+        :func:`repro.stream.ingest_batch` for the full contract; returns
+        its :class:`~repro.stream.IngestReport`.
+        """
+        from repro.stream.ingest import ingest_batch
+
+        return ingest_batch(
+            self,
+            batch,
+            partitioner=partitioner,
+            rebalance_threshold=rebalance_threshold,
+            instance_type=instance_type,
+            block_format=block_format,
+        )
+
+    def compact(self, partitioner: "STPartitioner | None" = None) -> int:
+        """Rewrite the whole dataset under a fresh partition fit.
+
+        See :func:`repro.stream.compact_dataset`; returns the number of
+        blocks the rewrite replaced.
+        """
+        from repro.stream.ingest import compact_dataset
+
+        return compact_dataset(self, partitioner=partitioner)
 
     # -- reading -------------------------------------------------------------------
 
@@ -580,8 +638,15 @@ class StDataset:
         temporal: Duration | None = None,
         use_metadata: bool = True,
         on_corrupt: str = "raise",
+        offset: int = 0,
     ) -> tuple[RDD, LoadStats]:
         """A lazy RDD over the partitions that may contain matching data.
+
+        ``offset`` skips the first ``offset`` partitions *before* pruning
+        — the incremental-read primitive: appends only ever add blocks at
+        the end, so "everything since the last run" is exactly
+        ``partitions[offset:]``.  Skipped partitions do not count toward
+        ``partitions_total``.
 
         ``use_metadata=False`` loads everything — the "native Spark" mode
         Figure 5 compares against.  The returned RDD still needs in-memory
@@ -599,12 +664,13 @@ class StDataset:
         if on_corrupt not in ("raise", "quarantine"):
             raise ValueError("on_corrupt must be 'raise' or 'quarantine'")
         meta = self.cached_metadata()
+        candidates = meta.partitions[offset:] if offset else meta.partitions
         if use_metadata:
-            selected = meta.select_partitions(spatial, temporal)
+            selected = [p for p in candidates if p.overlaps(spatial, temporal)]
         else:
-            selected = list(meta.partitions)
+            selected = list(candidates)
         stats = LoadStats(
-            partitions_total=len(meta.partitions),
+            partitions_total=len(candidates),
             partitions_selected=len(selected),
         )
         query_box = None

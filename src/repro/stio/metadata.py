@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -90,6 +91,18 @@ class DatasetMetadata:
     result cache above all — key cached answers on it, so an answer
     computed against generation N can never be served once the data moved
     to N+1.  Absent in older metadata files, which read as generation 0.
+
+    ``watermark`` is the streaming high-water mark: the maximum event end
+    time ever ingested (epoch seconds), or ``None`` for datasets never
+    touched by :meth:`~repro.stio.dataset.StDataset.ingest`.  It advances
+    transactionally with the partition list — blocks land on disk first,
+    then one atomic metadata replace publishes partitions + generation +
+    watermark together, so a crashed ingest leaves at worst orphan block
+    files the metadata never names (invisible to readers, reclaimed by
+    the next compaction).  Incremental pipelines use it to name "what
+    has been processed" (:meth:`~repro.core.pipeline.Pipeline.run_incremental`);
+    records arriving with end times at or below it are *late* and are
+    counted by the ingest path rather than dropped.
     """
 
     instance_type: str
@@ -98,6 +111,7 @@ class DatasetMetadata:
     codec: str = "tuple"
     generation: int = 0
     block_format: str = "v1"
+    watermark: float | None = None
 
     @property
     def total_records(self) -> int:
@@ -115,7 +129,14 @@ class DatasetMetadata:
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory: str | Path) -> Path:
-        """Write to the dataset directory; returns the file path."""
+        """Write to the dataset directory; returns the file path.
+
+        The write is atomic (temp file + ``os.replace`` in the same
+        directory): readers racing an ingest see either the old metadata
+        or the new one, never a torn file.  This is what makes the
+        watermark advance *transactional* — partitions, generation, and
+        watermark publish in one rename.
+        """
         path = Path(directory) / METADATA_FILENAME
         payload = {
             "version": self.version,
@@ -125,7 +146,11 @@ class DatasetMetadata:
             "generation": self.generation,
             "partitions": [p.to_dict() for p in self.partitions],
         }
-        path.write_text(json.dumps(payload, indent=1))
+        if self.watermark is not None:
+            payload["watermark"] = self.watermark
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, path)
         return path
 
     @classmethod
@@ -152,6 +177,7 @@ class DatasetMetadata:
                 f"metadata file {path} names unsupported block format "
                 f"{block_format!r} (supported: {', '.join(BLOCK_FORMATS)})"
             )
+        watermark = payload.get("watermark")
         return cls(
             instance_type=payload["instance_type"],
             partitions=[PartitionMeta.from_dict(d) for d in payload["partitions"]],
@@ -159,6 +185,7 @@ class DatasetMetadata:
             codec=payload.get("codec", "tuple"),
             generation=int(payload.get("generation", 0)),
             block_format=block_format,
+            watermark=float(watermark) if watermark is not None else None,
         )
 
     def merged_with(self, other: "DatasetMetadata") -> "DatasetMetadata":
@@ -170,6 +197,14 @@ class DatasetMetadata:
             raise ValueError("cannot merge metadata of different block codecs")
         if other.block_format != self.block_format:
             raise ValueError("cannot merge metadata of different block formats")
+        if self.watermark is None:
+            watermark = other.watermark
+        elif other.watermark is None:
+            watermark = self.watermark
+        else:
+            # The high-water mark is monotone: a late batch (all event
+            # times below the current mark) merges without regressing it.
+            watermark = max(self.watermark, other.watermark)
         return DatasetMetadata(
             instance_type=self.instance_type,
             partitions=self.partitions + other.partitions,
@@ -178,4 +213,5 @@ class DatasetMetadata:
             # generation must stop hitting.
             generation=self.generation + 1,
             block_format=self.block_format,
+            watermark=watermark,
         )

@@ -46,8 +46,9 @@ class TestCli:
         assert StDataset(out).metadata().total_records == 500
         assert main(["info", str(out)]) == 0
         captured = capsys.readouterr().out
-        assert "records: 500" in captured
-        assert "instance type: event" in captured
+        lines = captured.splitlines()
+        assert any(l.startswith("records") and l.endswith("500") for l in lines)
+        assert any(l.startswith("instance type") and l.endswith("event") for l in lines)
 
     def test_select_with_pruning(self, tmp_path, capsys):
         out = tmp_path / "nyc"

@@ -549,3 +549,37 @@ class TestInvalidation:
         extra = ctx.parallelize([Event.of_point(3.0, 3.0, 30.0, data="c")], 1)
         ds.append_rdd(extra)
         assert DatasetMetadata.load(tmp_path / "ds").generation == 1
+
+    def test_ingest_invalidates_resident_daemon(self, tmp_path):
+        """A resident daemon observes ``ingest()`` edits: generation bumps,
+        caches drop, post-ingest queries answer fresh with the new data,
+        and the advanced watermark shows up in ping and stats."""
+        write_dataset(tmp_path / "ds", n=400, partitions=4)
+        with running_server(tmp_path / "ds", workers=2) as (server, host, port):
+            with ServeClient(host, port) as client:
+                bbox = (0.0, 0.0, 10.0, 10.0)
+                first = client.query(bbox=bbox)
+                assert client.query(bbox=bbox)["cached"] is True
+                assert client.ping()["watermark"] is None
+                # Feed two micro-batches behind the server's back.
+                ds = StDataset(tmp_path / "ds")
+                ds.ingest(
+                    [Event.of_point(5.0, 5.0, 1_000.0, data="b1")],
+                )
+                ds.ingest(
+                    [
+                        Event.of_point(6.0, 6.0, 2_000.0, data="b2a"),
+                        Event.of_point(7.0, 7.0, 3_000.0, data="b2b"),
+                    ],
+                )
+                after = client.query(bbox=bbox)
+                assert after["generation"] == first["generation"] + 2
+                assert after["cached"] is False
+                assert after["count"] == first["count"] + 3
+                # The refresh made the advanced watermark resident too.
+                assert client.ping()["watermark"] == 3_000.0
+                stats = client.stats()
+                assert stats["dataset"]["watermark"] == 3_000.0
+                assert stats["dataset"]["generation"] == after["generation"]
+            assert server.state.invalidations == 1
+            assert server.result_cache.snapshot()["invalidations"] >= 1
